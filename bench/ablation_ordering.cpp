@@ -1,0 +1,51 @@
+// Ablation: fill-reducing ordering. The paper's libraries run on AMD
+// orderings; offline we compare natural, reverse Cuthill-McKee, minimum
+// degree, and the generators' built-in nested dissection on a 2-D mesh,
+// reporting fill, flops, and Sympiler numeric factorization time.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/cholesky_executor.h"
+#include "gen/generators.h"
+#include "order/rcm.h"
+#include "sparse/ops.h"
+
+using namespace sympiler;
+
+namespace {
+
+void row(const char* label, const CscMatrix& a_lower) {
+  core::CholeskyExecutor exec(a_lower, {});
+  const double t = bench::bench_seconds([&] { exec.factorize(a_lower); });
+  std::printf("  %-18s nnz(L)=%10lld  flops=%10.3e  numeric=%9.4fs  vsb=%s\n",
+              label, static_cast<long long>(exec.sets().sym.fill_nnz),
+              exec.flops(), t, exec.vs_block_applied() ? "yes" : "no");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: fill-reducing ordering, grid2d 120x120 Laplacian\n");
+  bench::print_rule(95);
+  const CscMatrix natural =
+      gen::grid2d_laplacian(120, 120, gen::GridOrder::Natural);
+  row("natural", natural);
+  const CscMatrix nd =
+      gen::grid2d_laplacian(120, 120, gen::GridOrder::NestedDissection);
+  row("nested dissection", nd);
+  {
+    const std::vector<index_t> perm = order::rcm(natural);
+    row("RCM", permute_symmetric_lower(natural, perm));
+  }
+  {
+    const std::vector<index_t> perm = order::minimum_degree(natural);
+    row("minimum degree", permute_symmetric_lower(natural, perm));
+  }
+  bench::print_rule(95);
+  std::printf(
+      "expected shape: ND < MD < RCM < natural in fill; supernodal blocking "
+      "profits most under ND\n");
+  return 0;
+}

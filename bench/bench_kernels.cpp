@@ -1,0 +1,101 @@
+// google-benchmark microbenchmarks for the mini-BLAS: the crossover
+// between the "Sympiler-generated" unrolled small kernels and the generic
+// blocked routines — the mechanism behind the paper's observation that
+// BLAS libraries are not well-optimized for the small blocks VS-Block
+// produces (section 4.2, citing Shin et al.).
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "blas/kernels.h"
+
+namespace {
+
+using sympiler::index_t;
+using sympiler::value_t;
+
+std::vector<value_t> spd(index_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+  std::vector<value_t> b(static_cast<std::size_t>(n) * n);
+  for (auto& v : b) v = dist(rng);
+  std::vector<value_t> a(static_cast<std::size_t>(n) * n, 0.0);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) {
+      value_t s = 0.0;
+      for (index_t k = 0; k < n; ++k) s += b[i + k * n] * b[j + k * n];
+      a[i + j * n] = s + (i == j ? n : 0.0);
+    }
+  return a;
+}
+
+void BM_PotrfGeneric(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const std::vector<value_t> a = spd(n, 1);
+  std::vector<value_t> l(a.size());
+  for (auto _ : state) {
+    l = a;
+    sympiler::blas::potrf_lower(n, l.data(), n);
+    benchmark::DoNotOptimize(l.data());
+  }
+}
+BENCHMARK(BM_PotrfGeneric)->DenseRange(2, 8, 2)->Arg(16)->Arg(64);
+
+void BM_PotrfSmallDispatch(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const std::vector<value_t> a = spd(n, 1);
+  std::vector<value_t> l(a.size());
+  for (auto _ : state) {
+    l = a;
+    sympiler::blas::potrf_lower_small(n, l.data(), n);
+    benchmark::DoNotOptimize(l.data());
+  }
+}
+BENCHMARK(BM_PotrfSmallDispatch)->DenseRange(2, 8, 2);
+
+void BM_TrsvGeneric(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  std::vector<value_t> l = spd(n, 2);
+  sympiler::blas::potrf_lower(n, l.data(), n);
+  std::vector<value_t> x(static_cast<std::size_t>(n), 1.0);
+  for (auto _ : state) {
+    sympiler::blas::trsv_lower(n, l.data(), n, x.data());
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_TrsvGeneric)->DenseRange(2, 8, 2)->Arg(32);
+
+void BM_TrsvSmallDispatch(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  std::vector<value_t> l = spd(n, 2);
+  sympiler::blas::potrf_lower(n, l.data(), n);
+  std::vector<value_t> x(static_cast<std::size_t>(n), 1.0);
+  for (auto _ : state) {
+    sympiler::blas::trsv_lower_small(n, l.data(), n, x.data());
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_TrsvSmallDispatch)->DenseRange(2, 8, 2);
+
+void BM_GemmNt(benchmark::State& state) {
+  const auto m = static_cast<index_t>(state.range(0));
+  const auto k = static_cast<index_t>(state.range(1));
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+  std::vector<value_t> a(static_cast<std::size_t>(m) * k);
+  for (auto& v : a) v = dist(rng);
+  std::vector<value_t> c(static_cast<std::size_t>(m) * m, 0.0);
+  for (auto _ : state) {
+    sympiler::blas::gemm_nt_minus(m, m, k, a.data(), m, a.data(), m, c.data(),
+                                  m);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<int64_t>(m) *
+                          m * k);
+}
+BENCHMARK(BM_GemmNt)->Args({8, 8})->Args({32, 8})->Args({64, 32})->Args({128, 64});
+
+}  // namespace
+
+BENCHMARK_MAIN();

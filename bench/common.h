@@ -1,0 +1,49 @@
+// Shared benchmark harness. The figure/table reproductions time with the
+// paper's methodology (median of repeated runs, section 4.1: "each
+// experiment is executed 5 times and the median is reported"); the
+// kernel-level microbenchmarks (bench_kernels.cpp) use google-benchmark.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace sympiler::bench {
+
+/// Median wall-clock seconds of `reps` runs of fn (after one warm-up).
+inline double median_seconds(const std::function<void()>& fn, int reps = 5) {
+  fn();  // warm-up
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    samples.push_back(t.seconds());
+  }
+  return median(samples);
+}
+
+/// Adaptive repetition count: cheap runs get the paper's 5 reps, runs
+/// beyond ~1s get 3 to keep the suite under CI budgets.
+inline int reps_for(double approx_seconds) {
+  return approx_seconds > 1.0 ? 3 : 5;
+}
+
+/// One probe run, then median with adaptive reps.
+inline double bench_seconds(const std::function<void()>& fn) {
+  Timer probe;
+  fn();
+  const double approx = probe.seconds();
+  return median_seconds(fn, reps_for(approx));
+}
+
+inline void print_rule(int width = 110) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace sympiler::bench

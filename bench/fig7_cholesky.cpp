@@ -1,0 +1,64 @@
+// Figure 7 reproduction: Cholesky numeric-phase performance (GFLOP/s).
+// Sympiler (VS-Block / +Low-Level, VI-Prune always in the baseline) vs the
+// CHOLMOD-like supernodal library and the Eigen-like simplicial library.
+//
+// Shape claims: Sympiler >= CHOLMOD-like >= Eigen-like on supernode-rich
+// matrices (paper: up to 2.4x over CHOLMOD, 6.3x over Eigen); Eigen
+// competitive only on matrices with small supernodes; Sympiler's win over
+// CHOLMOD is largest where supernodes are small (specialized small
+// kernels + no symbolic residue in the numeric phase).
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/cholesky_executor.h"
+#include "gen/suite.h"
+#include "solvers/simplicial.h"
+#include "solvers/supernodal.h"
+#include "util/stats.h"
+
+using namespace sympiler;
+
+int main() {
+  std::printf("Figure 7: Cholesky numeric GFLOP/s\n");
+  bench::print_rule(120);
+  std::printf("%2s %-14s | %9s %10s %10s %11s | %9s %9s\n", "id", "name",
+              "Eigen", "CHOLMOD", "VS-Block", "+Low-Level", "vs Eigen",
+              "vs CHOLMOD");
+  bench::print_rule(120);
+
+  std::vector<double> vs_eigen, vs_cholmod;
+  for (const auto& spec : gen::suite()) {
+    const CscMatrix a = spec.make();
+
+    solvers::SimplicialCholesky eigen_like(a);
+    solvers::SupernodalCholesky cholmod_like(a);
+    core::SympilerOptions plain;
+    plain.low_level = false;
+    core::CholeskyExecutor sym_vsb(a, plain);
+    core::CholeskyExecutor sym_full(a, {});
+    const double flops = sym_full.flops();
+
+    const double t_eigen =
+        bench::bench_seconds([&] { eigen_like.factorize(a); });
+    const double t_cholmod =
+        bench::bench_seconds([&] { cholmod_like.factorize(a); });
+    const double t_vsb = bench::bench_seconds([&] { sym_vsb.factorize(a); });
+    const double t_full = bench::bench_seconds([&] { sym_full.factorize(a); });
+
+    vs_eigen.push_back(t_eigen / t_full);
+    vs_cholmod.push_back(t_cholmod / t_full);
+    std::printf("%2d %-14s | %9.3f %10.3f %10.3f %11.3f | %8.2fx %8.2fx\n",
+                spec.id, spec.paper_name.c_str(), flops / t_eigen * 1e-9,
+                flops / t_cholmod * 1e-9, flops / t_vsb * 1e-9,
+                flops / t_full * 1e-9, t_eigen / t_full,
+                t_cholmod / t_full);
+    std::fflush(stdout);
+  }
+  bench::print_rule(120);
+  std::printf(
+      "Sympiler(full) speedups: geomean %.2fx vs Eigen-like (paper: up to "
+      "6.3x), %.2fx vs CHOLMOD-like (paper: up to 2.4x)\n",
+      geomean(vs_eigen), geomean(vs_cholmod));
+  return 0;
+}

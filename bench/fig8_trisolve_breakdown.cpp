@@ -1,0 +1,79 @@
+// Figure 8 reproduction: triangular-solve symbolic + numeric time,
+// normalized to the Eigen-style solver's runtime (which has no separable
+// symbolic phase — it is the coupled Figure 1c loop).
+//
+// Shape claim: even including the one-off symbolic inspection, Sympiler's
+// accumulated time stays close to a single Eigen solve (paper: 1.27x on
+// average), and the symbolic cost amortizes after a handful of solves.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/cholesky_executor.h"
+#include "core/trisolve_executor.h"
+#include "gen/generators.h"
+#include "gen/suite.h"
+#include "solvers/trisolve.h"
+#include "util/stats.h"
+
+using namespace sympiler;
+
+int main() {
+  std::printf(
+      "Figure 8: trisolve time normalized to Eigen (symbolic + numeric; "
+      "lower is better)\n");
+  bench::print_rule(110);
+  std::printf("%2s %-14s | %11s %11s %11s | %9s %9s %11s\n", "id", "name",
+              "Eigen(s)", "Sym sym(s)", "Sym num(s)", "num/Eig",
+              "(s+n)/Eig", "amortize@");
+  bench::print_rule(110);
+
+  std::vector<double> accumulated;
+  for (const auto& spec : gen::suite()) {
+    const CscMatrix a = spec.make();
+    core::CholeskyExecutor chol(a);
+    chol.factorize(a);
+    const CscMatrix l = chol.factor_csc();
+    const index_t n = l.cols();
+    const std::vector<value_t> b =
+        gen::rhs_from_column(a, (2 * n) / 3, 2000 + spec.id);
+    std::vector<index_t> beta;
+    for (index_t i = 0; i < n; ++i)
+      if (b[i] != 0.0) beta.push_back(i);
+
+    // Symbolic: the trisolve inspection (reach DFS + prune/block set
+    // assembly). The block-set of L is a byproduct of the factorization
+    // inspector that produced L, so it is passed in rather than re-derived
+    // (section 4.3 accounts the trisolve inspector as reach-proportional).
+    const SupernodePartition& blocks = chol.sets().blocks;
+    const double t_symbolic = bench::bench_seconds(
+        [&] { core::TriSolveExecutor probe(l, beta, {}, &blocks); });
+    core::TriSolveExecutor exec(l, beta, {}, &blocks);
+
+    std::vector<value_t> x(static_cast<std::size_t>(n));
+    const double t_numeric = bench::bench_seconds([&] {
+      std::copy(b.begin(), b.end(), x.begin());
+      exec.solve(x);
+    });
+    const double t_eigen = bench::bench_seconds([&] {
+      std::copy(b.begin(), b.end(), x.begin());
+      solvers::trisolve_library(l, x);
+    });
+
+    const double ratio = (t_symbolic + t_numeric) / t_eigen;
+    accumulated.push_back(ratio);
+    // Solves needed before Sympiler's total time beats Eigen's.
+    const double gain = t_eigen - t_numeric;
+    const double amortize = gain > 0 ? t_symbolic / gain : -1.0;
+    std::printf("%2d %-14s | %11.6f %11.6f %11.6f | %9.2f %9.2f %11.0f\n",
+                spec.id, spec.paper_name.c_str(), t_eigen, t_symbolic,
+                t_numeric, t_numeric / t_eigen, ratio, amortize);
+    std::fflush(stdout);
+  }
+  bench::print_rule(110);
+  std::printf(
+      "geomean (symbolic+numeric)/Eigen = %.2fx (paper: 1.27x average; "
+      "amortize@ = solves until Sympiler wins outright)\n",
+      geomean(accumulated));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 9 reproduction: Cholesky symbolic + numeric time for Sympiler,
+// CHOLMOD-like, and Eigen-like, normalized to Eigen's accumulated
+// symbolic+numeric time (lower is better).
+//
+// Shape claim: Sympiler's accumulated time beats both libraries on nearly
+// all matrices — decoupling moves work to the symbolic phase *and* makes
+// the numeric phase faster than the libraries' numeric phases, which
+// retain the A-transpose and reach bookkeeping.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/cholesky_executor.h"
+#include "gen/suite.h"
+#include "solvers/simplicial.h"
+#include "solvers/supernodal.h"
+#include "util/stats.h"
+
+using namespace sympiler;
+
+int main() {
+  std::printf(
+      "Figure 9: Cholesky symbolic+numeric normalized to Eigen (lower is "
+      "better)\n");
+  bench::print_rule(126);
+  std::printf("%2s %-14s | %9s %9s | %9s %9s | %9s %9s | %9s %9s\n", "id",
+              "name", "Eig sym", "Eig num", "Chl sym", "Chl num", "Sym sym",
+              "Sym num", "Chl/Eig", "Sym/Eig");
+  bench::print_rule(126);
+
+  std::vector<double> sym_ratio, chol_ratio;
+  for (const auto& spec : gen::suite()) {
+    const CscMatrix a = spec.make();
+
+    const double t_eig_sym = bench::bench_seconds([&] {
+      solvers::SimplicialCholesky probe(a);
+    });
+    solvers::SimplicialCholesky eigen_like(a);
+    const double t_eig_num =
+        bench::bench_seconds([&] { eigen_like.factorize(a); });
+
+    const double t_chl_sym = bench::bench_seconds([&] {
+      solvers::SupernodalCholesky probe(a);
+    });
+    solvers::SupernodalCholesky cholmod_like(a);
+    const double t_chl_num =
+        bench::bench_seconds([&] { cholmod_like.factorize(a); });
+
+    const double t_sym_sym = bench::bench_seconds([&] {
+      core::CholeskyExecutor probe(a, {});
+    });
+    core::CholeskyExecutor sympiler(a, {});
+    const double t_sym_num =
+        bench::bench_seconds([&] { sympiler.factorize(a); });
+
+    const double eig_total = t_eig_sym + t_eig_num;
+    const double r_chl = (t_chl_sym + t_chl_num) / eig_total;
+    const double r_sym = (t_sym_sym + t_sym_num) / eig_total;
+    chol_ratio.push_back(r_chl);
+    sym_ratio.push_back(r_sym);
+    std::printf(
+        "%2d %-14s | %9.4f %9.4f | %9.4f %9.4f | %9.4f %9.4f | %9.2f "
+        "%9.2f\n",
+        spec.id, spec.paper_name.c_str(), t_eig_sym, t_eig_num, t_chl_sym,
+        t_chl_num, t_sym_sym, t_sym_num, r_chl, r_sym);
+    std::fflush(stdout);
+  }
+  bench::print_rule(126);
+  std::printf(
+      "geomean accumulated-time ratios: CHOLMOD-like %.2fx, Sympiler %.2fx "
+      "of Eigen-like (paper: Sympiler below both on nearly all matrices)\n",
+      geomean(chol_ratio), geomean(sym_ratio));
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Circuit/power-grid simulation scenario (paper section 1.2): the Jacobian
+// pattern is fixed by the network topology; values change every step.
+// A transient simulation performs thousands of solves against the same
+// pattern — the setting where Sympiler's compile-time symbolic phase
+// amortizes to zero.
+//
+// This example runs a mock transient loop and compares three strategies:
+//   A. library-style: guarded triangular solves (Figure 1c),
+//   B. Sympiler: inspect once, numeric-only solves thereafter,
+//   C. naive forward solve (Figure 1b) as the floor.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/trisolve_executor.h"
+#include "gen/generators.h"
+#include "lu/lu.h"
+#include "order/rcm.h"
+#include "solvers/trisolve.h"
+#include "sparse/ops.h"
+#include "util/timer.h"
+
+using namespace sympiler;
+
+int main() {
+  // Power-grid topology: spanning tree + cross links, 20k buses.
+  const index_t n = 20000;
+  const CscMatrix grid_raw = gen::power_grid(n, n / 5, 11);
+
+  // Fill-reducing ordering first, exactly like KLU runs AMD on circuit
+  // matrices — hub buses must eliminate late or the factor fills in.
+  const std::vector<index_t> perm = order::minimum_degree(grid_raw);
+  const CscMatrix grid = permute_symmetric_lower(grid_raw, perm);
+
+  // Conductance matrix factorization via the GP LU extension (KLU's
+  // domain: circuit matrices factor with almost no fill).
+  const CscMatrix a = symmetric_full_from_lower(grid);
+  lu::LuFactor lu_factor(a);
+  lu_factor.factorize(a);
+  const CscMatrix& l = lu_factor.lower();
+  std::printf("grid: n=%d, nnz(A)=%d, nnz(L)=%d (fill ratio %.2f)\n", n,
+              a.nnz(), l.nnz(),
+              static_cast<double>(l.nnz()) / a.nnz() * 2.0);
+
+  // Current injections change every time step; their sparsity (which buses
+  // have sources) does not.
+  const std::vector<value_t> b0 = gen::sparse_rhs(n, 24, 5);
+  std::vector<index_t> beta;
+  for (index_t i = 0; i < n; ++i)
+    if (b0[i] != 0.0) beta.push_back(i);
+
+  // One-off symbolic inspection for the injection pattern.
+  Timer t_ins;
+  core::TriSolveExecutor exec(l, beta);
+  const double inspect_s = t_ins.seconds();
+  std::printf("inspector: reach-set %zu of %d columns, %.3f ms\n",
+              exec.sets().reach.size(), n, inspect_s * 1e3);
+
+  constexpr int kSteps = 2000;
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  auto transient = [&](auto&& solve) {
+    Timer t;
+    double checksum = 0.0;
+    for (int step = 0; step < kSteps; ++step) {
+      std::copy(b0.begin(), b0.end(), x.begin());
+      // Values wiggle each step; the pattern stays put.
+      for (const index_t i : beta) x[i] *= 1.0 + 1e-3 * std::sin(step * 0.1);
+      solve(x);
+      checksum += x[beta[0]];
+    }
+    return std::pair{t.seconds(), checksum};
+  };
+
+  const auto [t_naive, c1] = transient(
+      [&](std::span<value_t> v) { solvers::trisolve_naive(l, v); });
+  const auto [t_lib, c2] = transient(
+      [&](std::span<value_t> v) { solvers::trisolve_library(l, v); });
+  const auto [t_sym, c3] = transient([&](std::span<value_t> v) { exec.solve(v); });
+  std::printf("%d transient steps:\n", kSteps);
+  std::printf("  naive  (Fig 1b): %8.3f s\n", t_naive);
+  std::printf("  library(Fig 1c): %8.3f s\n", t_lib);
+  std::printf("  sympiler       : %8.3f s  (%.1fx vs naive, %.2fx vs "
+              "library; inspection amortized over %d steps = %.2f%%)\n",
+              t_sym, t_naive / t_sym, t_lib / t_sym, kSteps,
+              inspect_s / t_sym * 100.0);
+  // Checksums must agree across strategies.
+  std::printf("  checksums: %.12e / %.12e / %.12e\n", c1, c2, c3);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Code-generation explorer: shows the transformation pipeline of the
+// paper's Figure 2 on a small system — the initial AST, the AST after
+// VI-Prune, the final generated C after the low-level transformations
+// (peeling with literal bounds, Figure 1e) — then JIT-compiles the result
+// and verifies it against the executor.
+#include <cstdio>
+#include <vector>
+
+#include "core/codegen.h"
+#include "core/jit.h"
+#include "core/kernels.h"
+#include "core/passes.h"
+#include "core/trisolve_executor.h"
+#include "gen/generators.h"
+#include "solvers/simplicial.h"
+#include "sparse/ops.h"
+
+using namespace sympiler;
+
+int main() {
+  // Small factor so the generated code stays readable.
+  const CscMatrix a = gen::grid2d_laplacian(5, 5);
+  solvers::SimplicialCholesky chol(a);
+  chol.factorize(a);
+  const CscMatrix l = chol.factor();
+  const std::vector<value_t> b = gen::sparse_rhs(l.cols(), 2, 3);
+  std::vector<index_t> beta;
+  for (index_t i = 0; i < l.cols(); ++i)
+    if (b[i] != 0.0) beta.push_back(i);
+
+  std::printf("=== initial AST (Figure 2a) ===\n%s\n",
+              core::to_c(core::build_trisolve_ast()).c_str());
+
+  const core::StmtPtr pruned = core::apply_vi_prune(
+      core::build_trisolve_ast(), "pruneSet", "pruneSetSize");
+  std::printf("=== after VI-Prune (Figure 2b) ===\n%s\n",
+              core::to_c(pruned).c_str());
+
+  core::SympilerOptions opt;
+  opt.vs_block = false;  // keep the example in Figure 1e form
+  const core::GeneratedKernel kernel = core::generate_trisolve(l, beta, opt);
+  std::printf("=== generated C (Figure 1e / 2c) ===\n%s\n",
+              kernel.source.c_str());
+
+  if (core::JitModule::compiler_available()) {
+    const core::JitModule mod =
+        core::JitModule::compile(kernel.source, kernel.symbol);
+    std::vector<value_t> x(b);
+    mod.entry<core::TriSolveFn>()(l.colptr.data(), l.rowind.data(),
+                                  l.values.data(), x.data());
+    std::printf("JIT compiled in %.0f ms; ||Lx-b||_inf = %.3e\n",
+                mod.compile_seconds() * 1e3, residual_inf_norm(l, x, b));
+  } else {
+    std::printf("(host compiler unavailable: JIT step skipped)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,202 @@
+#include "blas/kernels.h"
+
+#include <cmath>
+
+namespace sympiler::blas {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Unrolled compile-time-sized kernels ("Sympiler-generated" small kernels).
+// ---------------------------------------------------------------------------
+
+template <int N>
+void potrf_unrolled(value_t* a, index_t lda) {
+  for (int j = 0; j < N; ++j) {
+    value_t d = a[j + j * lda];
+    for (int k = 0; k < j; ++k) d -= a[j + k * lda] * a[j + k * lda];
+    if (!(d > 0.0)) throw numerical_error("potrf: non-positive pivot");
+    const value_t djj = std::sqrt(d);
+    a[j + j * lda] = djj;
+    const value_t inv = 1.0 / djj;
+    for (int i = j + 1; i < N; ++i) {
+      value_t s = a[i + j * lda];
+      for (int k = 0; k < j; ++k) s -= a[i + k * lda] * a[j + k * lda];
+      a[i + j * lda] = s * inv;
+    }
+  }
+}
+
+template <int N>
+void trsv_unrolled(const value_t* l, index_t lda, value_t* x) {
+  for (int j = 0; j < N; ++j) {
+    const value_t xj = x[j] / l[j + j * lda];
+    x[j] = xj;
+    for (int i = j + 1; i < N; ++i) x[i] -= l[i + j * lda] * xj;
+  }
+}
+
+}  // namespace
+
+void potrf_lower(index_t n, value_t* a, index_t lda) {
+  // Unblocked left-looking; adequate for supernode diagonal blocks which
+  // are capped by SupernodeOptions::max_width.
+  for (index_t j = 0; j < n; ++j) {
+    value_t d = a[j + j * lda];
+    const value_t* aj = a + j;
+    for (index_t k = 0; k < j; ++k) d -= aj[k * lda] * aj[k * lda];
+    if (!(d > 0.0)) throw numerical_error("potrf: non-positive pivot");
+    const value_t djj = std::sqrt(d);
+    a[j + j * lda] = djj;
+    const value_t inv = 1.0 / djj;
+    // Rank-j update of the sub-column, then scale.
+    for (index_t k = 0; k < j; ++k) {
+      const value_t ljk = a[j + k * lda];
+      const value_t* col = a + k * lda;
+      value_t* dst = a + j * lda;
+      for (index_t i = j + 1; i < n; ++i) dst[i] -= col[i] * ljk;
+    }
+    value_t* dst = a + j * lda;
+    for (index_t i = j + 1; i < n; ++i) dst[i] *= inv;
+  }
+}
+
+void potrf_lower_small(index_t n, value_t* a, index_t lda) {
+  switch (n) {
+    case 0: return;
+    case 1: return potrf_unrolled<1>(a, lda);
+    case 2: return potrf_unrolled<2>(a, lda);
+    case 3: return potrf_unrolled<3>(a, lda);
+    case 4: return potrf_unrolled<4>(a, lda);
+    case 5: return potrf_unrolled<5>(a, lda);
+    case 6: return potrf_unrolled<6>(a, lda);
+    case 7: return potrf_unrolled<7>(a, lda);
+    case 8: return potrf_unrolled<8>(a, lda);
+    default: return potrf_lower(n, a, lda);
+  }
+}
+
+void trsv_lower(index_t n, const value_t* l, index_t lda, value_t* x) {
+  for (index_t j = 0; j < n; ++j) {
+    const value_t piv = l[j + j * lda];
+    if (piv == 0.0) throw numerical_error("trsv: zero diagonal");
+    const value_t xj = x[j] / piv;
+    x[j] = xj;
+    const value_t* col = l + j * lda;
+    for (index_t i = j + 1; i < n; ++i) x[i] -= col[i] * xj;
+  }
+}
+
+void trsv_lower_small(index_t n, const value_t* l, index_t lda, value_t* x) {
+  switch (n) {
+    case 0: return;
+    case 1:
+      x[0] /= l[0];
+      return;
+    case 2: return trsv_unrolled<2>(l, lda, x);
+    case 3: return trsv_unrolled<3>(l, lda, x);
+    case 4: return trsv_unrolled<4>(l, lda, x);
+    case 5: return trsv_unrolled<5>(l, lda, x);
+    case 6: return trsv_unrolled<6>(l, lda, x);
+    case 7: return trsv_unrolled<7>(l, lda, x);
+    case 8: return trsv_unrolled<8>(l, lda, x);
+    default: return trsv_lower(n, l, lda, x);
+  }
+}
+
+void trsv_lower_transpose(index_t n, const value_t* l, index_t lda,
+                          value_t* x) {
+  for (index_t j = n - 1; j >= 0; --j) {
+    const value_t* col = l + j * lda;
+    value_t s = x[j];
+    for (index_t i = j + 1; i < n; ++i) s -= col[i] * x[i];
+    const value_t piv = col[j];
+    if (piv == 0.0) throw numerical_error("trsv^T: zero diagonal");
+    x[j] = s / piv;
+  }
+}
+
+void trsm_right_lower_trans(index_t m, index_t n, const value_t* l,
+                            index_t ldl, value_t* b, index_t ldb) {
+  // X L^T = B  =>  X(:,j) = (B(:,j) - sum_{k<j} X(:,k) L(j,k)) / L(j,j)
+  for (index_t j = 0; j < n; ++j) {
+    value_t* bj = b + j * ldb;
+    for (index_t k = 0; k < j; ++k) {
+      const value_t ljk = l[j + k * ldl];
+      if (ljk == 0.0) continue;
+      const value_t* bk = b + k * ldb;
+      for (index_t i = 0; i < m; ++i) bj[i] -= ljk * bk[i];
+    }
+    const value_t piv = l[j + j * ldl];
+    if (piv == 0.0) throw numerical_error("trsm: zero diagonal");
+    const value_t inv = 1.0 / piv;
+    for (index_t i = 0; i < m; ++i) bj[i] *= inv;
+  }
+}
+
+void gemm_nt_minus(index_t m, index_t n, index_t k, const value_t* a,
+                   index_t lda, const value_t* b, index_t ldb, value_t* c,
+                   index_t ldc) {
+  // Register-tiled over 2 columns of C; the k-loop is the innermost
+  // reduction over columns of A/B (unit-stride in i, so GCC vectorizes the
+  // i-loop). Layout: C(i,j) -= sum_p A(i,p) * B(j,p).
+  index_t j = 0;
+  for (; j + 1 < n; j += 2) {
+    value_t* c0 = c + j * ldc;
+    value_t* c1 = c + (j + 1) * ldc;
+    for (index_t p = 0; p < k; ++p) {
+      const value_t b0 = b[j + p * ldb];
+      const value_t b1 = b[j + 1 + p * ldb];
+      const value_t* ap = a + p * lda;
+      for (index_t i = 0; i < m; ++i) {
+        const value_t av = ap[i];
+        c0[i] -= av * b0;
+        c1[i] -= av * b1;
+      }
+    }
+  }
+  for (; j < n; ++j) {
+    value_t* c0 = c + j * ldc;
+    for (index_t p = 0; p < k; ++p) {
+      const value_t b0 = b[j + p * ldb];
+      if (b0 == 0.0) continue;
+      const value_t* ap = a + p * lda;
+      for (index_t i = 0; i < m; ++i) c0[i] -= ap[i] * b0;
+    }
+  }
+}
+
+void syrk_lower_minus(index_t n, index_t k, const value_t* a, index_t lda,
+                      value_t* c, index_t ldc) {
+  for (index_t j = 0; j < n; ++j) {
+    value_t* cj = c + j * ldc;
+    for (index_t p = 0; p < k; ++p) {
+      const value_t ajp = a[j + p * lda];
+      if (ajp == 0.0) continue;
+      const value_t* ap = a + p * lda;
+      for (index_t i = j; i < n; ++i) cj[i] -= ap[i] * ajp;
+    }
+  }
+}
+
+void gemv_minus(index_t m, index_t n, const value_t* a, index_t lda,
+                const value_t* x, value_t* y) {
+  for (index_t j = 0; j < n; ++j) {
+    const value_t xj = x[j];
+    if (xj == 0.0) continue;
+    const value_t* col = a + j * lda;
+    for (index_t i = 0; i < m; ++i) y[i] -= col[i] * xj;
+  }
+}
+
+void gemv_trans_minus(index_t m, index_t n, const value_t* a, index_t lda,
+                      const value_t* x, value_t* y) {
+  for (index_t j = 0; j < n; ++j) {
+    const value_t* col = a + j * lda;
+    value_t s = 0.0;
+    for (index_t i = 0; i < m; ++i) s += col[i] * x[i];
+    y[j] -= s;
+  }
+}
+
+}  // namespace sympiler::blas

@@ -1,0 +1,62 @@
+// Mini-BLAS: the dense kernels the supernodal (VS-Block) code paths stand
+// on. Substitutes for OpenBLAS 0.2.19 in the paper's setup (not available
+// offline) and doubles as the mechanism behind the paper's claim that
+// Sympiler "generates specialized and highly-efficient codes for small
+// dense sub-kernels": sizes <= SYMPILER_SMALL_KERNEL_MAX dispatch to fully
+// unrolled compile-time-sized kernels, larger sizes take generic blocked
+// loops (the "call BLAS instead" path).
+//
+// All matrices are column-major. `lda` is the leading dimension.
+#pragma once
+
+#include "util/common.h"
+
+namespace sympiler::blas {
+
+/// Largest dimension handled by the unrolled specializations.
+inline constexpr index_t kSmallKernelMax = 8;
+
+/// Dense Cholesky of the lower triangle of the n-by-n matrix A (in place;
+/// strictly-upper part untouched). Throws numerical_error on a non-positive
+/// pivot. Generic blocked path.
+void potrf_lower(index_t n, value_t* a, index_t lda);
+
+/// potrf_lower that dispatches to unrolled kernels for n <= kSmallKernelMax.
+void potrf_lower_small(index_t n, value_t* a, index_t lda);
+
+/// Solve L x = b in place (x := L^{-1} x), L n-by-n lower, unit stride x.
+void trsv_lower(index_t n, const value_t* l, index_t lda, value_t* x);
+
+/// trsv_lower with unrolled dispatch for tiny n.
+void trsv_lower_small(index_t n, const value_t* l, index_t lda, value_t* x);
+
+/// Solve x^T L^T = b^T, i.e. x := L^{-T} x (backward substitution with the
+/// transpose of a lower factor). Used by the full solve A x = b.
+void trsv_lower_transpose(index_t n, const value_t* l, index_t lda,
+                          value_t* x);
+
+/// B := B * L^{-T} for an m-by-n panel B and n-by-n lower L.
+/// This is the off-diagonal supernode update of Cholesky
+/// (TRSM side=right, uplo=lower, trans=T, diag=non-unit).
+void trsm_right_lower_trans(index_t m, index_t n, const value_t* l,
+                            index_t ldl, value_t* b, index_t ldb);
+
+/// C -= A * B^T, A m-by-k, B n-by-k, C m-by-n (GEMM, beta=1, alpha=-1).
+void gemm_nt_minus(index_t m, index_t n, index_t k, const value_t* a,
+                   index_t lda, const value_t* b, index_t ldb, value_t* c,
+                   index_t ldc);
+
+/// C -= A * A^T, lower triangle of C only (SYRK, beta=1, alpha=-1),
+/// A n-by-k, C n-by-n.
+void syrk_lower_minus(index_t n, index_t k, const value_t* a, index_t lda,
+                      value_t* c, index_t ldc);
+
+/// y -= A * x, A m-by-n (GEMV, alpha=-1, beta=1).
+void gemv_minus(index_t m, index_t n, const value_t* a, index_t lda,
+                const value_t* x, value_t* y);
+
+/// y -= A^T * x, A m-by-n, x length m, y length n.
+void gemv_trans_minus(index_t m, index_t n, const value_t* a, index_t lda,
+                      const value_t* x, value_t* y);
+
+}  // namespace sympiler::blas

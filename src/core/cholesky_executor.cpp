@@ -1,0 +1,168 @@
+#include "core/cholesky_executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/kernels.h"
+#include "solvers/trisolve.h"
+
+namespace sympiler::core {
+
+CholeskyExecutor::CholeskyExecutor(const CscMatrix& a_lower,
+                                   SympilerOptions opt)
+    : opt_(opt), sets_(inspect_cholesky(a_lower, opt)) {
+  specialized_ =
+      opt_.low_level && sets_.avg_colcount < opt_.blas_switch_colcount;
+  if (sets_.vs_block_profitable) {
+    panels_.resize(static_cast<std::size_t>(sets_.layout.total_values()));
+    index_t max_m = 0, max_w = 0;
+    for (index_t s = 0; s < sets_.layout.nsuper(); ++s) {
+      max_m = std::max(max_m, sets_.layout.nrows(s));
+      max_w = std::max(max_w, sets_.layout.width(s));
+    }
+    work_.resize(static_cast<std::size_t>(max_m) * max_w);
+    map_.resize(static_cast<std::size_t>(sets_.layout.n));
+  } else {
+    l_ = sets_.sym.l_pattern;  // simplicial factor storage
+  }
+}
+
+void CholeskyExecutor::factorize(const CscMatrix& a_lower) {
+  if (sets_.vs_block_profitable) {
+    factorize_supernodal(a_lower);
+  } else {
+    factorize_simplicial(a_lower);
+  }
+  factorized_ = true;
+}
+
+void CholeskyExecutor::factorize_supernodal(const CscMatrix& a_lower) {
+  const solvers::SupernodalLayout& layout = sets_.layout;
+  scatter_into_panels(layout, a_lower, panels_);
+  const index_t nsuper = layout.nsuper();
+  value_t* work = work_.data();
+  index_t* map = map_.data();
+
+  for (index_t s = 0; s < nsuper; ++s) {
+    const index_t c1 = layout.sn.start[s];
+    const index_t w = layout.width(s);
+    const index_t m = layout.nrows(s);
+    const index_t* rows = layout.srows.data() + layout.srow_ptr[s];
+    value_t* panel = panels_.data() + layout.panel_ptr[s];
+    for (index_t t = 0; t < m; ++t) map[rows[t]] = t;
+
+    // Static update schedule — no dynamic discovery (fully decoupled).
+    for (index_t u = sets_.updates.ptr[s]; u < sets_.updates.ptr[s + 1]; ++u) {
+      const solvers::UpdateRef ref = sets_.updates.refs[u];
+      const index_t* drows = layout.srows.data() + layout.srow_ptr[ref.d];
+      const index_t dm = layout.nrows(ref.d);
+      const index_t dw = layout.width(ref.d);
+      const value_t* dpanel = panels_.data() + layout.panel_ptr[ref.d];
+      const index_t mu = dm - ref.p1;
+      const index_t nu = ref.p2 - ref.p1;
+      if (specialized_ && nu == 1) {
+        // Peeled single-target-column update: subtract directly, no
+        // scratch buffer (scalar-replacement style).
+        value_t* dst =
+            panel + static_cast<std::int64_t>(drows[ref.p1] - c1) * m;
+        for (index_t p = 0; p < dw; ++p) {
+          const value_t* dcol = dpanel + static_cast<std::int64_t>(p) * dm;
+          const value_t f = dcol[ref.p1];
+          if (f == 0.0) continue;
+          for (index_t r = 0; r < mu; ++r)
+            dst[map[drows[ref.p1 + r]]] -= dcol[ref.p1 + r] * f;
+        }
+        continue;
+      }
+      std::fill(work, work + static_cast<std::int64_t>(mu) * nu, 0.0);
+      blas::gemm_nt_minus(mu, nu, dw, dpanel + ref.p1, dm, dpanel + ref.p1,
+                          dm, work, mu);
+      for (index_t cjj = 0; cjj < nu; ++cjj) {
+        const index_t gcol = drows[ref.p1 + cjj];
+        value_t* dst = panel + static_cast<std::int64_t>(gcol - c1) * m;
+        const value_t* src = work + static_cast<std::int64_t>(cjj) * mu;
+        for (index_t r = cjj; r < mu; ++r)
+          dst[map[drows[ref.p1 + r]]] += src[r];
+      }
+    }
+
+    // Dense factorization of the diagonal block + panel solve, with the
+    // generated small kernels when the column-count heuristic says so.
+    if (specialized_ && w == 1) {
+      // Peeled single-column supernode: scalar sqrt + column scale.
+      const value_t d = panel[0];
+      if (!(d > 0.0)) throw numerical_error("cholesky: non-positive pivot");
+      const value_t ljj = std::sqrt(d);
+      panel[0] = ljj;
+      const value_t inv = 1.0 / ljj;
+      for (index_t t = 1; t < m; ++t) panel[t] *= inv;
+    } else if (specialized_ && w <= blas::kSmallKernelMax) {
+      blas::potrf_lower_small(w, panel, m);
+      if (m > w)
+        blas::trsm_right_lower_trans(m - w, w, panel, m, panel + w, m);
+    } else {
+      blas::potrf_lower(w, panel, m);
+      if (m > w)
+        blas::trsm_right_lower_trans(m - w, w, panel, m, panel + w, m);
+    }
+  }
+}
+
+void CholeskyExecutor::factorize_simplicial(const CscMatrix& a_lower) {
+  // VI-Prune-only path: Figure 4 with the update iteration space pruned by
+  // the precomputed row patterns. No transpose, no ereach.
+  const index_t n = l_.cols();
+  std::vector<value_t> f(static_cast<std::size_t>(n), 0.0);
+  std::vector<index_t> next(static_cast<std::size_t>(n), 0);
+  const index_t* rowpat = sets_.rowpat.data();
+
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = a_lower.col_begin(j); p < a_lower.col_end(j); ++p) {
+      const index_t i = a_lower.rowind[p];
+      if (i >= j) f[i] = a_lower.values[p];
+    }
+    for (index_t q = sets_.rowpat_ptr[j]; q < sets_.rowpat_ptr[j + 1]; ++q) {
+      const index_t k = rowpat[q];
+      const index_t pj = next[k];
+      const value_t lkj = l_.values[pj];
+      for (index_t p = pj; p < l_.col_end(k); ++p)
+        f[l_.rowind[p]] -= l_.values[p] * lkj;
+      next[k] = pj + 1;
+    }
+    const value_t d = f[j];
+    if (!(d > 0.0))
+      throw numerical_error("cholesky: non-positive pivot at column " +
+                            std::to_string(j));
+    const value_t ljj = std::sqrt(d);
+    const index_t pdiag = l_.col_begin(j);
+    l_.values[pdiag] = ljj;
+    f[j] = 0.0;
+    const value_t inv = 1.0 / ljj;
+    for (index_t p = pdiag + 1; p < l_.col_end(j); ++p) {
+      const index_t i = l_.rowind[p];
+      l_.values[p] = f[i] * inv;
+      f[i] = 0.0;
+    }
+    next[j] = pdiag + 1;
+  }
+}
+
+void CholeskyExecutor::solve(std::span<value_t> bx) const {
+  SYMPILER_CHECK(factorized_, "solve() before factorize()");
+  if (sets_.vs_block_profitable) {
+    panel_forward_solve(sets_.layout, panels_, bx);
+    panel_backward_solve(sets_.layout, panels_, bx);
+  } else {
+    solvers::trisolve_naive(l_, bx);
+    solvers::trisolve_transpose(l_, bx);
+  }
+}
+
+CscMatrix CholeskyExecutor::factor_csc() const {
+  SYMPILER_CHECK(factorized_, "factor_csc() before factorize()");
+  if (sets_.vs_block_profitable)
+    return panels_to_csc(sets_.layout, panels_);
+  return l_;
+}
+
+}  // namespace sympiler::core

@@ -1,0 +1,44 @@
+// Code generation: drive the AST pipeline (build -> inspector-guided
+// transformations -> low-level transformations) and emit a complete C
+// translation unit specialized to one sparsity pattern, with the
+// inspection sets baked in as static arrays (paper Figures 1e / 2c).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/inspector.h"
+#include "core/ir.h"
+#include "core/options.h"
+#include "sparse/csc.h"
+
+namespace sympiler::core {
+
+struct GeneratedKernel {
+  std::string source;  ///< complete compilable C translation unit
+  std::string symbol;  ///< exported (extern "C") function name
+  StmtPtr final_ast;   ///< transformed AST (null for the direct emitters)
+  TriSolveSets trisolve_sets;  ///< populated by generate_trisolve
+};
+
+/// Generate specialized triangular-solve code for the pattern of L and the
+/// RHS pattern beta. Exported symbol:
+///   void sym_trisolve(const int* Lp, const int* Li, const double* Lx,
+///                     double* x);
+/// The reach-set / block-set are baked into the code; x holds b on entry.
+[[nodiscard]] GeneratedKernel generate_trisolve(const CscMatrix& l,
+                                                std::span<const index_t> beta,
+                                                const SympilerOptions& opt = {});
+
+/// Generate specialized Cholesky code for the inspected pattern. Exported
+/// symbol (returns 0 on success, -1 on a non-positive pivot):
+///   int sym_cholesky(const int* Ap, const int* Ai, const double* Ax,
+///                    double* Lx_or_panels, double* fwork, int* iwork);
+/// For the supernodal variant the factor is written into the panel buffer
+/// (layout in sets.layout); for the simplicial variant into CSC values of
+/// the pattern in sets.sym.l_pattern. fwork: n doubles (simplicial) or
+/// max-update scratch (supernodal); iwork: n ints.
+[[nodiscard]] GeneratedKernel generate_cholesky(const CholeskySets& sets,
+                                                const SympilerOptions& opt = {});
+
+}  // namespace sympiler::core

@@ -1,0 +1,155 @@
+#include "core/inspector.h"
+
+#include <algorithm>
+
+#include "graph/reach.h"
+#include "solvers/trisolve.h"
+
+namespace sympiler::core {
+
+namespace {
+
+// The paper gates VS-Block on "the average size of the participating
+// supernodes" with a hand-tuned threshold of 160 on its SuiteSparse
+// suite. Our recalibrated form of the same heuristic weights the average
+// panel rows of participating (width >= 2) supernodes by the fraction of
+// columns they cover — a matrix whose only wide supernode is the trailing
+// dense block should not trigger blocking. The default threshold in
+// SympilerOptions is hand-tuned on the synthetic suite exactly like the
+// paper tunes theirs; bench/ablation_thresholds sweeps it.
+double participating_avg_rows(const SupernodePartition& sn,
+                              std::span<const index_t> colcount) {
+  double total_rows = 0.0;
+  double covered_cols = 0.0;
+  index_t participating = 0;
+  for (index_t s = 0; s < sn.count(); ++s) {
+    if (sn.width(s) < 2) continue;
+    total_rows += static_cast<double>(colcount[sn.start[s]]);  // panel rows
+    covered_cols += sn.width(s);
+    ++participating;
+  }
+  if (participating == 0 || sn.start.back() == 0) return 0.0;
+  const double avg_rows = total_rows / participating;
+  const double coverage = covered_cols / static_cast<double>(sn.start.back());
+  return avg_rows * coverage;
+}
+
+double participating_avg_width(const SupernodePartition& sn) {
+  double covered_cols = 0.0;
+  index_t participating = 0;
+  for (index_t s = 0; s < sn.count(); ++s) {
+    if (sn.width(s) < 2) continue;
+    covered_cols += sn.width(s);
+    ++participating;
+  }
+  return participating == 0 ? 0.0 : covered_cols / participating;
+}
+
+}  // namespace
+
+TriSolveSets inspect_trisolve(const CscMatrix& l,
+                              std::span<const index_t> beta,
+                              const SympilerOptions& opt,
+                              const SupernodePartition* known_blocks) {
+  SYMPILER_CHECK(l.rows() == l.cols(), "inspect_trisolve: L not square");
+  TriSolveSets sets;
+
+  // VI-Prune inspection: DFS over DG_L (Table 1 row 1).
+  sets.reach = reach(l, beta);
+
+  // Column counts (peel decisions and thresholds).
+  const index_t n = l.cols();
+  sets.colcount.resize(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j)
+    sets.colcount[j] = l.col_end(j) - l.col_begin(j);
+
+  // VS-Block inspection: node equivalence on DG_L (Table 1 row 2), unless
+  // the factorization inspector already produced the block-set.
+  if (known_blocks != nullptr) {
+    SYMPILER_CHECK(known_blocks->valid(n),
+                   "inspect_trisolve: invalid known block-set");
+    sets.blocks = *known_blocks;
+  } else {
+    SupernodeOptions sn_opt;
+    sn_opt.max_width = opt.max_supernode_width;
+    sets.blocks = supernodes_node_equivalence(l, sn_opt);
+  }
+  sets.avg_supernode_size =
+      participating_avg_rows(sets.blocks, sets.colcount);
+  sets.vs_block_profitable =
+      opt.vs_block && sets.avg_supernode_size >= opt.vsblock_min_avg_size &&
+      participating_avg_width(sets.blocks) >= opt.vsblock_min_avg_width;
+
+  // Supernode-level prune-set: reached columns of a supernode form a
+  // suffix, so one (supernode, first column) pair per touched supernode.
+  std::vector<index_t> first_col(static_cast<std::size_t>(sets.blocks.count()),
+                                 -1);
+  for (const index_t j : sets.reach) {
+    const index_t s = sets.blocks.col_to_super[j];
+    if (first_col[s] == -1 || j < first_col[s]) first_col[s] = j;
+  }
+  for (index_t s = 0; s < sets.blocks.count(); ++s) {
+    if (first_col[s] != -1) {
+      sets.sn_reach.push_back(s);
+      sets.sn_first_col.push_back(first_col[s]);
+    }
+  }
+
+  sets.flops = solvers::trisolve_flops(l, sets.reach);
+  return sets;
+}
+
+TriSolveSets inspect_trisolve_dense_rhs(const CscMatrix& l,
+                                        std::span<const value_t> b,
+                                        const SympilerOptions& opt) {
+  std::vector<index_t> beta;
+  for (index_t i = 0; i < static_cast<index_t>(b.size()); ++i)
+    if (b[i] != 0.0) beta.push_back(i);
+  return inspect_trisolve(l, beta, opt);
+}
+
+CholeskySets inspect_cholesky(const CscMatrix& a_lower,
+                              const SympilerOptions& opt) {
+  CholeskySets sets;
+  sets.sym = symbolic_cholesky(a_lower);
+  const index_t n = a_lower.cols();
+
+  // Block-set: fundamental supernodes from etree + colcounts.
+  SupernodeOptions sn_opt;
+  sn_opt.max_width = opt.max_supernode_width;
+  sn_opt.relax = opt.relax_supernodes;
+  sn_opt.relax_ratio = opt.relax_ratio;
+  sets.blocks = supernodes_cholesky(sets.sym.parent, sets.sym.colcount, sn_opt);
+  sets.layout = solvers::SupernodalLayout::build(sets.sym, sets.blocks);
+  sets.updates = solvers::compute_update_lists(sets.layout);
+
+  // Simplicial prune-sets: the row pattern of L row-by-row. The pattern of
+  // L is already available, so the row patterns are a transpose walk: row
+  // pattern of i = columns j < i with L(i,j) != 0.
+  sets.rowpat_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  const CscMatrix& lp = sets.sym.l_pattern;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t p = lp.col_begin(j) + 1; p < lp.col_end(j); ++p)
+      ++sets.rowpat_ptr[lp.rowind[p] + 1];
+  for (index_t i = 0; i < n; ++i) sets.rowpat_ptr[i + 1] += sets.rowpat_ptr[i];
+  sets.rowpat.resize(static_cast<std::size_t>(sets.rowpat_ptr[n]));
+  {
+    std::vector<index_t> next(sets.rowpat_ptr.begin(),
+                              sets.rowpat_ptr.end() - 1);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t p = lp.col_begin(j) + 1; p < lp.col_end(j); ++p)
+        sets.rowpat[next[lp.rowind[p]]++] = j;
+  }
+
+  sets.avg_supernode_size =
+      participating_avg_rows(sets.blocks, sets.sym.colcount);
+  double cc = 0.0;
+  for (index_t j = 0; j < n; ++j) cc += sets.sym.colcount[j];
+  sets.avg_colcount = n > 0 ? cc / n : 0.0;
+  sets.vs_block_profitable =
+      opt.vs_block && sets.avg_supernode_size >= opt.vsblock_min_avg_size &&
+      participating_avg_width(sets.blocks) >= opt.vsblock_min_avg_width;
+  return sets;
+}
+
+}  // namespace sympiler::core

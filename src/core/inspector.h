@@ -1,0 +1,89 @@
+// Compile-time symbolic inspectors (paper section 2.2, Table 1).
+//
+// For each numerical method the inspector builds an inspection graph from
+// the sparsity pattern, traverses it with a method-specific strategy, and
+// produces inspection sets that drive the inspector-guided transformations:
+//
+//   method     graph          strategy           sets
+//   --------   ------------   ----------------   -----------------------------
+//   trisolve   DG_L + SP(b)   DFS                prune-set (reach-set)
+//   trisolve   DG_L           node equivalence   block-set (supernodes)
+//   cholesky   etree + SP(A)  up-traversal       prune-sets (row patterns)
+//   cholesky   etree+colcnt   up-traversal       block-set (supernodes)
+//
+// Everything here runs once per sparsity pattern ("compile time"); the
+// executors/generated code consume the sets without any symbolic work.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/options.h"
+#include "graph/supernodes.h"
+#include "graph/symbolic.h"
+#include "solvers/supernodal.h"
+#include "sparse/csc.h"
+#include "util/common.h"
+
+namespace sympiler::core {
+
+/// Inspection sets for sparse triangular solve L x = b.
+struct TriSolveSets {
+  /// Column-level prune-set: Reach_L(beta) in topological order.
+  std::vector<index_t> reach;
+  /// Block-set: node-equivalence supernodes of DG_L.
+  SupernodePartition blocks;
+  /// Supernode-level prune-set (ascending supernode ids; ascending is
+  /// topological because DG_L edges always increase the column index).
+  std::vector<index_t> sn_reach;
+  /// First reached column within each sn_reach entry (reached columns of a
+  /// supernode always form a suffix of its columns, because supernode
+  /// diagonal blocks are dense).
+  std::vector<index_t> sn_first_col;
+  /// Per-column nnz of L (drives the peel decisions, paper Figure 1e).
+  std::vector<index_t> colcount;
+  /// Average participating supernode size (rows) — VS-Block threshold input.
+  double avg_supernode_size = 0.0;
+  /// Whether VS-Block passes its profitability threshold.
+  bool vs_block_profitable = false;
+  /// Useful flops of the pruned solve.
+  double flops = 0.0;
+};
+
+/// Run the triangular-solve inspector on pattern of L and RHS pattern
+/// beta. When L came out of the Cholesky inspector, pass its block-set as
+/// `known_blocks` — the supernodes of L are a byproduct of factorization
+/// symbolic analysis and need not be re-derived by node equivalence (this
+/// is what keeps the trisolve symbolic phase proportional to the reach,
+/// paper section 4.3).
+[[nodiscard]] TriSolveSets inspect_trisolve(
+    const CscMatrix& l, std::span<const index_t> beta,
+    const SympilerOptions& opt = {},
+    const SupernodePartition* known_blocks = nullptr);
+
+/// Convenience: beta from a dense b's nonzeros.
+[[nodiscard]] TriSolveSets inspect_trisolve_dense_rhs(
+    const CscMatrix& l, std::span<const value_t> b,
+    const SympilerOptions& opt = {});
+
+/// Inspection sets for sparse Cholesky A = L L^T.
+struct CholeskySets {
+  SymbolicFactor sym;                 ///< etree, colcounts, pattern of L
+  SupernodePartition blocks;          ///< fundamental supernodes
+  solvers::SupernodalLayout layout;   ///< panel layout of the factor
+  solvers::UpdateLists updates;       ///< static update schedule (decoupled)
+  /// Simplicial prune-sets: row pattern of every row of L (CSR-style),
+  /// excluding diagonals — the update-loop iteration spaces of Figure 4.
+  std::vector<index_t> rowpat_ptr;    ///< size n+1
+  std::vector<index_t> rowpat;
+  double avg_supernode_size = 0.0;    ///< rows, over width>=2 supernodes
+  double avg_colcount = 0.0;          ///< BLAS-switch threshold input
+  bool vs_block_profitable = false;
+  [[nodiscard]] double flops() const { return sym.flops; }
+};
+
+/// Run the Cholesky inspector on the pattern of A (lower triangle).
+[[nodiscard]] CholeskySets inspect_cholesky(const CscMatrix& a_lower,
+                                            const SympilerOptions& opt = {});
+
+}  // namespace sympiler::core

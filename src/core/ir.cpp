@@ -1,0 +1,324 @@
+#include "core/ir.h"
+
+#include <sstream>
+
+namespace sympiler::core {
+
+// ---------------------------------------------------------------------------
+// Expression factories
+// ---------------------------------------------------------------------------
+
+ExprPtr icon(std::int64_t v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::IntConst;
+  e->ival = v;
+  return e;
+}
+
+ExprPtr fcon(double v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::FloatConst;
+  e->fval = v;
+  return e;
+}
+
+ExprPtr var(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::Var;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr load(std::string array, ExprPtr index) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::Load;
+  e->name = std::move(array);
+  e->kids.push_back(std::move(index));
+  return e;
+}
+
+ExprPtr bin(char op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::Binary;
+  e->op = op;
+  e->kids.push_back(std::move(lhs));
+  e->kids.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr add(ExprPtr l, ExprPtr r) { return bin('+', std::move(l), std::move(r)); }
+ExprPtr sub(ExprPtr l, ExprPtr r) { return bin('-', std::move(l), std::move(r)); }
+ExprPtr mul(ExprPtr l, ExprPtr r) { return bin('*', std::move(l), std::move(r)); }
+
+ExprPtr clone(const ExprPtr& e) {
+  if (!e) return nullptr;
+  auto c = std::make_shared<Expr>(*e);
+  c->kids.clear();
+  for (const ExprPtr& k : e->kids) c->kids.push_back(clone(k));
+  return c;
+}
+
+std::string to_c(const ExprPtr& e) {
+  if (!e) return "/*null*/";
+  switch (e->kind) {
+    case ExprKind::IntConst:
+      return std::to_string(e->ival);
+    case ExprKind::FloatConst: {
+      std::ostringstream os;
+      os.precision(17);
+      os << e->fval;
+      return os.str();
+    }
+    case ExprKind::Var:
+      return e->name;
+    case ExprKind::Load:
+      return e->name + "[" + to_c(e->kids[0]) + "]";
+    case ExprKind::Binary:
+      return "(" + to_c(e->kids[0]) + " " + e->op + " " + to_c(e->kids[1]) +
+             ")";
+  }
+  return "/*?*/";
+}
+
+// ---------------------------------------------------------------------------
+// Statement factories
+// ---------------------------------------------------------------------------
+
+StmtPtr block(std::vector<StmtPtr> stmts) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::Block;
+  s->body = std::move(stmts);
+  return s;
+}
+
+StmtPtr for_loop(LoopInfo info, std::vector<StmtPtr> body) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::For;
+  s->loop = std::move(info);
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr store(std::string array, ExprPtr index, ExprPtr value, char op) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::Store;
+  s->target = std::move(array);
+  s->index = std::move(index);
+  s->value = std::move(value);
+  s->store_op = op;
+  return s;
+}
+
+StmtPtr let(std::string name, ExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::Let;
+  s->target = std::move(name);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr if_then(ExprPtr cond, std::vector<StmtPtr> then_body) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::If;
+  s->cond = std::move(cond);
+  s->body = std::move(then_body);
+  return s;
+}
+
+StmtPtr call(std::string name, std::vector<ExprPtr> args) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::Call;
+  s->target = std::move(name);
+  s->call_args = std::move(args);
+  return s;
+}
+
+StmtPtr comment(std::string text) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::Comment;
+  s->text = std::move(text);
+  return s;
+}
+
+StmtPtr clone(const StmtPtr& s) {
+  if (!s) return nullptr;
+  auto c = std::make_shared<Stmt>();
+  c->kind = s->kind;
+  for (const StmtPtr& b : s->body) c->body.push_back(clone(b));
+  c->loop = s->loop;
+  c->loop.lo = clone(s->loop.lo);
+  c->loop.hi = clone(s->loop.hi);
+  c->target = s->target;
+  c->index = clone(s->index);
+  c->value = clone(s->value);
+  c->store_op = s->store_op;
+  c->cond = clone(s->cond);
+  for (const ExprPtr& a : s->call_args) c->call_args.push_back(clone(a));
+  c->text = s->text;
+  return c;
+}
+
+namespace {
+
+void print_stmt(std::ostringstream& os, const StmtPtr& s, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  if (!s) return;
+  switch (s->kind) {
+    case StmtKind::Block:
+      for (const StmtPtr& b : s->body) print_stmt(os, b, indent);
+      break;
+    case StmtKind::For: {
+      if (s->loop.vectorize) os << pad << "#pragma omp simd\n";
+      os << pad << "for (int " << s->loop.var << " = " << to_c(s->loop.lo)
+         << "; " << s->loop.var << " < " << to_c(s->loop.hi) << "; ++"
+         << s->loop.var << ") {\n";
+      for (const StmtPtr& b : s->body) print_stmt(os, b, indent + 2);
+      os << pad << "}\n";
+      break;
+    }
+    case StmtKind::Store: {
+      os << pad << s->target << "[" << to_c(s->index) << "] ";
+      if (s->store_op != '=') os << s->store_op;
+      os << "= " << to_c(s->value) << ";\n";
+      break;
+    }
+    case StmtKind::Let:
+      os << pad << "const int " << s->target << " = " << to_c(s->value)
+         << ";\n";
+      break;
+    case StmtKind::If: {
+      os << pad << "if (" << to_c(s->cond) << ") {\n";
+      for (const StmtPtr& b : s->body) print_stmt(os, b, indent + 2);
+      os << pad << "}\n";
+      break;
+    }
+    case StmtKind::Call: {
+      os << pad << s->target << "(";
+      for (std::size_t i = 0; i < s->call_args.size(); ++i) {
+        if (i) os << ", ";
+        os << to_c(s->call_args[i]);
+      }
+      os << ");\n";
+      break;
+    }
+    case StmtKind::Comment:
+      os << pad << "// " << s->text << "\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_c(const StmtPtr& s, int indent) {
+  std::ostringstream os;
+  print_stmt(os, s, indent);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Bindings / folding / substitution
+// ---------------------------------------------------------------------------
+
+void Bindings::bind(std::string name, std::span<const index_t> data) {
+  arrays_[std::move(name)] = data;
+}
+
+const index_t* Bindings::find(const std::string& name,
+                              std::int64_t index) const {
+  const auto it = arrays_.find(name);
+  if (it == arrays_.end()) return nullptr;
+  if (index < 0 || index >= static_cast<std::int64_t>(it->second.size()))
+    return nullptr;
+  return &it->second[static_cast<std::size_t>(index)];
+}
+
+ExprPtr fold(const ExprPtr& e, const Bindings& bindings) {
+  if (!e) return nullptr;
+  switch (e->kind) {
+    case ExprKind::IntConst:
+    case ExprKind::FloatConst:
+    case ExprKind::Var:
+      return clone(e);
+    case ExprKind::Load: {
+      ExprPtr idx = fold(e->kids[0], bindings);
+      if (idx->kind == ExprKind::IntConst) {
+        if (const index_t* v = bindings.find(e->name, idx->ival))
+          return icon(*v);
+      }
+      return load(e->name, std::move(idx));
+    }
+    case ExprKind::Binary: {
+      ExprPtr l = fold(e->kids[0], bindings);
+      ExprPtr r = fold(e->kids[1], bindings);
+      if (l->kind == ExprKind::IntConst && r->kind == ExprKind::IntConst) {
+        switch (e->op) {
+          case '+': return icon(l->ival + r->ival);
+          case '-': return icon(l->ival - r->ival);
+          case '*': return icon(l->ival * r->ival);
+          case '/': return r->ival != 0 ? icon(l->ival / r->ival)
+                                        : bin('/', std::move(l), std::move(r));
+        }
+      }
+      return bin(e->op, std::move(l), std::move(r));
+    }
+  }
+  return clone(e);
+}
+
+ExprPtr substitute(const ExprPtr& e, const std::string& name,
+                   const ExprPtr& replacement) {
+  if (!e) return nullptr;
+  if (e->kind == ExprKind::Var && e->name == name) return clone(replacement);
+  ExprPtr c = std::make_shared<Expr>(*e);
+  c->kids.clear();
+  for (const ExprPtr& k : e->kids)
+    c->kids.push_back(substitute(k, name, replacement));
+  return c;
+}
+
+StmtPtr substitute(const StmtPtr& s, const std::string& name,
+                   const ExprPtr& replacement) {
+  if (!s) return nullptr;
+  StmtPtr c = clone(s);
+  // A loop over the same variable shadows the binding entirely.
+  if (c->kind == StmtKind::For && c->loop.var == name) return c;
+  c->loop.lo = substitute(c->loop.lo, name, replacement);
+  c->loop.hi = substitute(c->loop.hi, name, replacement);
+  c->index = substitute(c->index, name, replacement);
+  c->value = substitute(c->value, name, replacement);
+  c->cond = substitute(c->cond, name, replacement);
+  for (ExprPtr& a : c->call_args) a = substitute(a, name, replacement);
+  std::vector<StmtPtr> new_body;
+  new_body.reserve(c->body.size());
+  bool shadowed = false;
+  for (const StmtPtr& b : c->body) {
+    if (shadowed) {
+      new_body.push_back(clone(b));
+      continue;
+    }
+    if (b && b->kind == StmtKind::Let && b->target == name) {
+      // A Let redefinition shadows the binding for the following
+      // statements; its own RHS may still reference the old value.
+      StmtPtr redef = clone(b);
+      redef->value = substitute(redef->value, name, replacement);
+      new_body.push_back(std::move(redef));
+      shadowed = true;
+      continue;
+    }
+    new_body.push_back(substitute(b, name, replacement));
+  }
+  c->body = std::move(new_body);
+  return c;
+}
+
+std::int64_t eval_int(const ExprPtr& e) {
+  SYMPILER_CHECK(e && e->kind == ExprKind::IntConst,
+                 "eval_int: expression is not an integer constant");
+  return e->ival;
+}
+
+bool is_int_const(const ExprPtr& e) {
+  return e && e->kind == ExprKind::IntConst;
+}
+
+}  // namespace sympiler::core

@@ -1,0 +1,148 @@
+// Domain-specific AST for sparse kernels (paper section 2.1/Figure 2).
+//
+// Sympiler lowers a numerical method to an annotated loop AST, then applies
+// inspector-guided transformations (VI-Prune, VS-Block) followed by enabled
+// low-level transformations (peel, unroll, vectorize, distribute, scalar
+// replacement), and finally emits C. The IR here is deliberately small but
+// complete enough to express every transformation in the paper:
+//
+//   Expr := IntConst | FloatConst | Var | Load(array, idx) | Binary(op,l,r)
+//   Stmt := Block | For | Store | Let | If | Call | Comment
+//
+// Loops carry the annotations of Figure 2a (VI-Prune / VS-Block candidacy)
+// and the low-level hints added by the inspector-guided passes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.h"
+
+namespace sympiler::core {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind { IntConst, FloatConst, Var, Load, Binary };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind{};
+  std::int64_t ival = 0;      ///< IntConst payload
+  double fval = 0.0;          ///< FloatConst payload
+  std::string name;           ///< Var name or Load array name
+  char op = 0;                ///< Binary operator: + - * / %
+  std::vector<ExprPtr> kids;  ///< Load: {index}; Binary: {lhs, rhs}
+};
+
+[[nodiscard]] ExprPtr icon(std::int64_t v);
+[[nodiscard]] ExprPtr fcon(double v);
+[[nodiscard]] ExprPtr var(std::string name);
+[[nodiscard]] ExprPtr load(std::string array, ExprPtr index);
+[[nodiscard]] ExprPtr bin(char op, ExprPtr lhs, ExprPtr rhs);
+[[nodiscard]] ExprPtr add(ExprPtr l, ExprPtr r);
+[[nodiscard]] ExprPtr sub(ExprPtr l, ExprPtr r);
+[[nodiscard]] ExprPtr mul(ExprPtr l, ExprPtr r);
+
+[[nodiscard]] ExprPtr clone(const ExprPtr& e);
+
+/// Render as a C expression.
+[[nodiscard]] std::string to_c(const ExprPtr& e);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind { Block, For, Store, Let, If, Call, Comment };
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<Stmt>;
+
+/// Loop header + the paper's annotations.
+struct LoopInfo {
+  std::string var;
+  ExprPtr lo;  ///< inclusive
+  ExprPtr hi;  ///< exclusive
+  // Inspector-guided candidacy markers (set by the kernel builders,
+  // consumed by the VI-Prune / VS-Block passes — Figure 2a annotations).
+  bool vi_prune_candidate = false;
+  std::string prune_set_name;  ///< inspection-set symbol for VI-Prune
+  bool vs_block_candidate = false;
+  // Low-level hints (added by inspector-guided passes, consumed by the
+  // low-level pipeline — Figure 2b annotations like peel(0,3), vec(0)).
+  std::vector<std::int64_t> peel;  ///< iteration positions to peel
+  int unroll = 0;                  ///< full-unroll limit hint (0 = off)
+  bool vectorize = false;          ///< emit a simd pragma
+};
+
+struct Stmt {
+  StmtKind kind{};
+  std::vector<StmtPtr> body;       ///< Block / For / If(then)
+  LoopInfo loop;                   ///< For
+  std::string target;              ///< Store array / Let var / Call name
+  ExprPtr index;                   ///< Store index
+  ExprPtr value;                   ///< Store value / Let value
+  char store_op = '=';             ///< '=' plain, '+' +=, '-' -=, '/' /=
+  ExprPtr cond;                    ///< If condition
+  std::vector<ExprPtr> call_args;  ///< Call arguments
+  std::string text;                ///< Comment
+};
+
+[[nodiscard]] StmtPtr block(std::vector<StmtPtr> stmts);
+[[nodiscard]] StmtPtr for_loop(LoopInfo info, std::vector<StmtPtr> body);
+[[nodiscard]] StmtPtr store(std::string array, ExprPtr index, ExprPtr value,
+                            char op = '=');
+[[nodiscard]] StmtPtr let(std::string name, ExprPtr value);
+[[nodiscard]] StmtPtr if_then(ExprPtr cond, std::vector<StmtPtr> then_body);
+[[nodiscard]] StmtPtr call(std::string name, std::vector<ExprPtr> args);
+[[nodiscard]] StmtPtr comment(std::string text);
+
+[[nodiscard]] StmtPtr clone(const StmtPtr& s);
+
+/// Render a statement tree as C (indent = leading spaces).
+[[nodiscard]] std::string to_c(const StmtPtr& s, int indent = 0);
+
+// ---------------------------------------------------------------------------
+// Constant folding / substitution — what makes peeled iterations become
+// straight-line code with literal bounds (Figure 1e).
+// ---------------------------------------------------------------------------
+
+/// Integer arrays the folder may read through (the inspection sets plus
+/// the matrix index arrays: pruneSet, blockSet, Lp, ...).
+class Bindings {
+ public:
+  void bind(std::string name, std::span<const index_t> data);
+  /// nullptr if unbound.
+  [[nodiscard]] const index_t* find(const std::string& name,
+                                    std::int64_t index) const;
+
+ private:
+  std::unordered_map<std::string, std::span<const index_t>> arrays_;
+};
+
+/// Recursively fold: Binary of constants, and Load of a bound array at a
+/// constant index. Returns a new expression (input unchanged).
+[[nodiscard]] ExprPtr fold(const ExprPtr& e, const Bindings& bindings);
+
+/// Substitute Var(name) -> replacement throughout an expression.
+[[nodiscard]] ExprPtr substitute(const ExprPtr& e, const std::string& name,
+                                 const ExprPtr& replacement);
+
+/// Substitute within a statement tree (clones).
+[[nodiscard]] StmtPtr substitute(const StmtPtr& s, const std::string& name,
+                                 const ExprPtr& replacement);
+
+/// Evaluate a fully-constant integer expression; throws if not constant.
+[[nodiscard]] std::int64_t eval_int(const ExprPtr& e);
+
+/// True if the expression folded to an integer constant.
+[[nodiscard]] bool is_int_const(const ExprPtr& e);
+
+}  // namespace sympiler::core

@@ -1,0 +1,107 @@
+#include "core/jit.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/timer.h"
+
+#ifndef SYMPILER_HOST_CXX
+#define SYMPILER_HOST_CXX "c++"
+#endif
+
+namespace sympiler::core {
+
+namespace {
+
+std::string scratch_dir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string base = tmp ? tmp : "/tmp";
+  static std::atomic<int> counter{0};
+  std::ostringstream os;
+  os << base << "/sympiler-jit-" << ::getpid() << "-"
+     << counter.fetch_add(1);
+  return os.str();
+}
+
+}  // namespace
+
+JitModule::JitModule(JitModule&& other) noexcept
+    : handle_(other.handle_),
+      fn_(other.fn_),
+      compile_seconds_(other.compile_seconds_) {
+  other.handle_ = nullptr;
+  other.fn_ = nullptr;
+}
+
+JitModule& JitModule::operator=(JitModule&& other) noexcept {
+  if (this != &other) {
+    if (handle_ != nullptr) ::dlclose(handle_);
+    handle_ = other.handle_;
+    fn_ = other.fn_;
+    compile_seconds_ = other.compile_seconds_;
+    other.handle_ = nullptr;
+    other.fn_ = nullptr;
+  }
+  return *this;
+}
+
+JitModule::~JitModule() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+bool JitModule::compiler_available() {
+  static const bool available = [] {
+    const std::string cmd =
+        std::string(SYMPILER_HOST_CXX) + " --version > /dev/null 2>&1";
+    return std::system(cmd.c_str()) == 0;
+  }();
+  return available;
+}
+
+JitModule JitModule::compile(const std::string& source,
+                             const std::string& symbol) {
+  const std::string dir = scratch_dir();
+  if (std::system(("mkdir -p " + dir).c_str()) != 0)
+    throw std::runtime_error("jit: cannot create scratch dir " + dir);
+  const std::string src_path = dir + "/kernel.cpp";
+  const std::string so_path = dir + "/kernel.so";
+  const std::string err_path = dir + "/cc.err";
+  {
+    std::ofstream src(src_path);
+    src << source;
+    if (!src.good()) throw std::runtime_error("jit: cannot write " + src_path);
+  }
+
+  Timer timer;
+  const std::string cmd = std::string(SYMPILER_HOST_CXX) +
+                          " -O3 -march=native -fopenmp-simd -shared -fPIC " +
+                          src_path + " -o " + so_path + " 2> " + err_path;
+  const int rc = std::system(cmd.c_str());
+  JitModule mod;
+  mod.compile_seconds_ = timer.seconds();
+  if (rc != 0) {
+    std::ifstream err(err_path);
+    std::ostringstream msg;
+    msg << "jit: compiler failed (rc=" << rc << "):\n" << err.rdbuf();
+    throw std::runtime_error(msg.str());
+  }
+  mod.handle_ = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (mod.handle_ == nullptr)
+    throw std::runtime_error(std::string("jit: dlopen failed: ") +
+                             ::dlerror());
+  mod.fn_ = ::dlsym(mod.handle_, symbol.c_str());
+  if (mod.fn_ == nullptr)
+    throw std::runtime_error("jit: symbol not found: " + symbol);
+  // Scratch files are kept for post-mortem inspection; they live under the
+  // process-specific directory and are tiny.
+  return mod;
+}
+
+}  // namespace sympiler::core

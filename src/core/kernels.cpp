@@ -1,0 +1,146 @@
+#include "core/kernels.h"
+
+namespace sympiler::core {
+
+StmtPtr build_trisolve_ast() {
+  // Inner loop: for p in Lp[j0]+1 .. Lp[j0+1]: x[Li[p]] -= Lx[p] * x[j0]
+  LoopInfo inner;
+  inner.var = "p";
+  inner.lo = add(load("Lp", var("j0")), icon(1));
+  inner.hi = load("Lp", add(var("j0"), icon(1)));
+  StmtPtr inner_loop = for_loop(
+      inner, {store("x", load("Li", var("p")),
+                    mul(load("Lx", var("p")), load("x", var("j0"))), '-')});
+
+  LoopInfo outer;
+  outer.var = "j0";
+  outer.lo = icon(0);
+  outer.hi = var("n");
+  outer.vi_prune_candidate = true;
+  outer.prune_set_name = "pruneSet";
+  outer.vs_block_candidate = true;
+  return block({for_loop(
+      outer, {store("x", var("j0"), load("Lx", load("Lp", var("j0"))), '/'),
+              inner_loop})});
+}
+
+StmtPtr build_blocked_trisolve_ast() {
+  std::vector<StmtPtr> body;
+  body.push_back(let("c1", load("snStart", var("b"))));
+  body.push_back(let("c2", load("snEnd", var("b"))));
+  body.push_back(let("tl", load("tailLen", var("b"))));
+
+  // Diagonal block: forward substitution with direct (consecutive) rows.
+  {
+    LoopInfo jl;
+    jl.var = "j";
+    jl.lo = var("c1");
+    jl.hi = var("c2");
+    LoopInfo tl;
+    tl.var = "t";
+    tl.lo = icon(1);
+    tl.hi = sub(var("c2"), var("j"));
+    tl.vectorize = true;
+    StmtPtr upd = for_loop(
+        tl, {store("x", add(var("j"), var("t")),
+                   mul(load("Lx", add(load("Lp", var("j")), var("t"))),
+                       load("x", var("j"))),
+                   '-')});
+    body.push_back(comment("dense diagonal block (no Li indirection)"));
+    body.push_back(for_loop(
+        jl, {store("x", var("j"), load("Lx", load("Lp", var("j"))), '/'),
+             upd}));
+  }
+
+  // Tail: zero the gather buffer, accumulate per column, scatter once.
+  body.push_back(comment("below-block tail via gather buffer"));
+  {
+    LoopInfo z;
+    z.var = "t";
+    z.lo = icon(0);
+    z.hi = var("tl");
+    z.vectorize = true;
+    body.push_back(for_loop(z, {store("tail", var("t"), fcon(0.0))}));
+  }
+  {
+    LoopInfo jl;
+    jl.var = "j";
+    jl.lo = var("c1");
+    jl.hi = var("c2");
+    LoopInfo acc;
+    acc.var = "t";
+    acc.lo = icon(0);
+    acc.hi = var("tl");
+    acc.vectorize = true;
+    StmtPtr inner = for_loop(
+        acc,
+        {store("tail", var("t"),
+               mul(load("Lx", add(add(load("Lp", var("j")),
+                                      sub(var("c2"), var("j"))),
+                                  var("t"))),
+                   load("x", var("j"))),
+               '+')});
+    body.push_back(for_loop(jl, {inner}));
+  }
+  {
+    LoopInfo sc;
+    sc.var = "t";
+    sc.lo = icon(0);
+    sc.hi = var("tl");
+    StmtPtr scatter = for_loop(
+        sc, {store("x",
+                   load("Li", add(add(load("Lp", var("c1")),
+                                      sub(var("c2"), var("c1"))),
+                                  var("t"))),
+                   load("tail", var("t")), '-')});
+    body.push_back(scatter);
+  }
+
+  LoopInfo outer;
+  outer.var = "b";
+  outer.lo = icon(0);
+  outer.hi = var("numBlocks");
+  outer.vi_prune_candidate = true;
+  outer.prune_set_name = "snReach";
+  return block({for_loop(outer, std::move(body))});
+}
+
+StmtPtr build_cholesky_ast() {
+  // Column-form left-looking Cholesky (Figure 4). The update loop over k
+  // carries the VI-Prune candidacy: its untransformed iteration space is
+  // all columns k < j, pruned to the row pattern of row j.
+  std::vector<StmtPtr> col_body;
+  col_body.push_back(comment("scatter A(:,j) into f (runtime gather)"));
+  col_body.push_back(call("scatter_column", {var("j")}));
+
+  LoopInfo upd;
+  upd.var = "k";
+  upd.lo = icon(0);
+  upd.hi = var("j");
+  upd.vi_prune_candidate = true;
+  upd.prune_set_name = "rowPattern";
+  LoopInfo updi;
+  updi.var = "p";
+  updi.lo = var("pk");  // set by the pruned body (cursor into column k)
+  updi.hi = load("Lp", add(var("k"), icon(1)));
+  StmtPtr upd_inner = for_loop(
+      updi, {store("f", load("Li", var("p")),
+                   mul(load("Lx", var("p")), var("lkj")), '-')});
+  col_body.push_back(comment("update phase (Figure 4 lines 4-6)"));
+  col_body.push_back(
+      for_loop(upd, {let("pk", load("next", var("k"))),
+                     let("lkj", icon(0)),  // placeholder: Lx[pk]
+                     upd_inner}));
+
+  col_body.push_back(comment("column factorization (Figure 4 lines 7-10)"));
+  col_body.push_back(call("factor_column", {var("j")}));
+
+  LoopInfo outer;
+  outer.var = "j";
+  outer.lo = icon(0);
+  outer.hi = var("n");
+  outer.vs_block_candidate = true;  // VS-Block converts to supernode loop
+  return block({for_loop(outer, std::move(col_body))});
+}
+
+}  // namespace sympiler::core

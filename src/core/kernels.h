@@ -1,0 +1,46 @@
+// Kernel builders: lower a numerical method to the initial annotated AST
+// (paper Figure 2a). The AST references the runtime symbols Lp/Li/Lx/x and
+// the inspection-set symbols (pruneSet, ...) that the passes and the
+// emitter resolve.
+#pragma once
+
+#include "core/ir.h"
+#include "core/options.h"
+
+namespace sympiler::core {
+
+/// Initial AST of sparse triangular solve (Figure 2a):
+///
+///   for j0 in 0..n              <- VI-Prune candidate (pruneSet),
+///                                  VS-Block candidate
+///     x[j0] /= Lx[Lp[j0]]
+///     for p in Lp[j0]+1 .. Lp[j0+1]
+///       x[Li[p]] -= Lx[p] * x[j0]
+[[nodiscard]] StmtPtr build_trisolve_ast();
+
+/// Blocked (VS-Block) triangular-solve AST over the block-set symbols
+/// snStart/snEnd/tailLen (one entry per block in traversal order):
+///
+///   for b in 0..numBlocks       <- VI-Prune candidate (block-level)
+///     // dense diagonal block: direct indexing, no Li loads
+///     for j in snStart[b]..snEnd[b]
+///       x[j] /= Lx[Lp[j]]
+///       for t in 1..snEnd[b]-j
+///         x[j+t] -= Lx[Lp[j]+t] * x[j]
+///     // tail: accumulate into the gather buffer, scatter once
+///     for t in 0..tailLen[b]    (zero)
+///     for j ...                 (accumulate)
+///     for t ...                 (scatter)
+[[nodiscard]] StmtPtr build_blocked_trisolve_ast();
+
+/// Initial AST of left-looking Cholesky (paper Figure 4), column form:
+///
+///   for j in 0..n
+///     (scatter A(:,j))
+///     for k in <row pattern of j>     <- VI-Prune candidate (pruneSet)
+///       f -= L(j:n,k) * L(j,k)
+///     L(j,j) = sqrt(f(j))             <- VS-Block candidate (diag)
+///     for offdiag: L(:,j) = f / L(j,j)
+[[nodiscard]] StmtPtr build_cholesky_ast();
+
+}  // namespace sympiler::core

@@ -1,0 +1,51 @@
+// Tuning knobs of the code generator — the thresholds the paper describes
+// (and that bench/ablation_thresholds sweeps).
+#pragma once
+
+#include "util/common.h"
+
+namespace sympiler::core {
+
+struct SympilerOptions {
+  // Inspector-guided transformations (paper section 2.3).
+  bool vs_block = true;
+  bool vi_prune = true;
+  // Enabled low-level transformations (paper section 2.4): peeling,
+  // unrolling/vectorized small kernels, scalar replacement.
+  bool low_level = true;
+
+  /// VS-Block is applied only when the participating-supernode size
+  /// metric (average panel rows of width>=2 supernodes, weighted by the
+  /// fraction of columns they cover — see inspector.cpp) reaches this
+  /// threshold. The paper hand-tunes its variant of this knob to 160 on
+  /// the SuiteSparse suite (section 4.2); this default is hand-tuned the
+  /// same way on the synthetic suite and swept by
+  /// bench/ablation_thresholds.
+  double vsblock_min_avg_size = 4.0;
+
+  /// Companion VS-Block condition: mean width (columns) of participating
+  /// supernodes. Width-2..3 supernodes do not amortize the gather-buffer
+  /// traffic of the blocked kernels (the paper's gyro/gyro_k case: "the
+  /// average supernode size is too small and thus does not improve
+  /// performance").
+  double vsblock_min_avg_width = 4.0;
+
+  /// Average column-count threshold below which Cholesky uses the
+  /// generated specialized dense kernels; above it the generic blocked
+  /// ("BLAS") routines are used (paper section 4.2: the column-count
+  /// decides when to switch to BLAS).
+  double blas_switch_colcount = 40.0;
+
+  /// Peel loop iterations whose column count exceeds this (paper Figure 1e
+  /// uses 2: peeled columns get unrolled/vectorized bodies).
+  index_t peel_colcount = 2;
+
+  /// Cap on supernode panel width (bounds temporary storage).
+  index_t max_supernode_width = 256;
+
+  /// Relaxed amalgamation (extension; paper evaluates with this off).
+  bool relax_supernodes = false;
+  double relax_ratio = 0.2;
+};
+
+}  // namespace sympiler::core

@@ -1,0 +1,215 @@
+#include "core/passes.h"
+
+#include <algorithm>
+
+namespace sympiler::core {
+
+namespace {
+
+/// Apply fn to the first loop satisfying pred (pre-order); returns the
+/// rewritten tree and sets `found`.
+template <typename Pred, typename Fn>
+StmtPtr rewrite_first_loop(const StmtPtr& s, Pred pred, Fn fn, bool& found) {
+  if (!s) return nullptr;
+  if (!found && s->kind == StmtKind::For && pred(*s)) {
+    found = true;
+    return fn(s);
+  }
+  StmtPtr c = std::make_shared<Stmt>(*s);
+  c->body.clear();
+  for (const StmtPtr& b : s->body)
+    c->body.push_back(rewrite_first_loop(b, pred, fn, found));
+  return c;
+}
+
+}  // namespace
+
+StmtPtr apply_vi_prune(const StmtPtr& root, const std::string& set_sym,
+                       const std::string& size_sym) {
+  bool found = false;
+  StmtPtr out = rewrite_first_loop(
+      root, [](const Stmt& s) { return s.loop.vi_prune_candidate; },
+      [&](const StmtPtr& loop) {
+        const std::string v = loop->loop.var;
+        const std::string vp = v + "_p";
+        LoopInfo pruned;
+        pruned.var = vp;
+        pruned.lo = icon(0);
+        pruned.hi = var(size_sym);
+        pruned.vi_prune_candidate = false;
+        // Keep low-level annotations for later passes.
+        pruned.peel = loop->loop.peel;
+        pruned.unroll = loop->loop.unroll;
+        std::vector<StmtPtr> body;
+        body.push_back(let(v, load(set_sym, var(vp))));
+        for (const StmtPtr& b : loop->body) body.push_back(clone(b));
+        return for_loop(std::move(pruned), std::move(body));
+      },
+      found);
+  SYMPILER_CHECK(found, "apply_vi_prune: no VI-Prune candidate loop");
+  return out;
+}
+
+StmtPtr apply_vs_block(const StmtPtr& root, const StmtPtr& blocked) {
+  bool found = false;
+  StmtPtr out = rewrite_first_loop(
+      root, [](const Stmt& s) { return s.loop.vs_block_candidate; },
+      [&](const StmtPtr&) { return clone(blocked); }, found);
+  SYMPILER_CHECK(found, "apply_vs_block: no VS-Block candidate loop");
+  return out;
+}
+
+namespace {
+
+StmtPtr fold_stmt(const StmtPtr& s, const Bindings& bindings,
+                  std::int64_t unroll_limit);
+
+/// Fold a statement sequence. Lets whose value folds to an integer
+/// constant are propagated into the following statements and dropped —
+/// this is what turns peeled bodies into fully-literal code (Figure 1e).
+std::vector<StmtPtr> fold_children(std::vector<StmtPtr> work,
+                                   const Bindings& bindings,
+                                   std::int64_t unroll_limit) {
+  std::vector<StmtPtr> out;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    StmtPtr f = fold_stmt(work[i], bindings, unroll_limit);
+    if (f && f->kind == StmtKind::Let && is_int_const(f->value)) {
+      for (std::size_t k = i + 1; k < work.size(); ++k) {
+        if (work[k] && work[k]->kind == StmtKind::Let &&
+            work[k]->target == f->target) {
+          // Redefinition shadows the binding: substitute into its RHS
+          // (which may reference the old value) and stop.
+          StmtPtr redef = clone(work[k]);
+          redef->value = substitute(redef->value, f->target, f->value);
+          work[k] = redef;
+          break;
+        }
+        work[k] = substitute(work[k], f->target, f->value);
+      }
+      continue;
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+/// Fold expressions in a statement tree; fully unroll constant-trip loops.
+StmtPtr fold_stmt(const StmtPtr& s, const Bindings& bindings,
+                  std::int64_t unroll_limit) {
+  if (!s) return nullptr;
+  StmtPtr c = std::make_shared<Stmt>(*s);
+  c->body.clear();
+  c->loop.lo = fold(s->loop.lo, bindings);
+  c->loop.hi = fold(s->loop.hi, bindings);
+  c->index = fold(s->index, bindings);
+  c->value = fold(s->value, bindings);
+  c->cond = fold(s->cond, bindings);
+  for (ExprPtr& a : c->call_args) a = fold(a, bindings);
+
+  if (s->kind == StmtKind::For && is_int_const(c->loop.lo) &&
+      is_int_const(c->loop.hi)) {
+    const std::int64_t lo = eval_int(c->loop.lo);
+    const std::int64_t hi = eval_int(c->loop.hi);
+    if (hi - lo <= unroll_limit) {
+      // Full unroll: emit the body once per iteration with the loop
+      // variable substituted by its constant value (Figure 1e bodies).
+      std::vector<StmtPtr> unrolled;
+      for (std::int64_t it = lo; it < hi; ++it)
+        for (const StmtPtr& b : s->body)
+          unrolled.push_back(substitute(b, s->loop.var, icon(it)));
+      return block(fold_children(std::move(unrolled), bindings, unroll_limit));
+    }
+  }
+  std::vector<StmtPtr> body(s->body.begin(), s->body.end());
+  c->body = fold_children(std::move(body), bindings, unroll_limit);
+  return c;
+}
+
+}  // namespace
+
+StmtPtr apply_peel(const StmtPtr& root, const std::string& loop_var,
+                   std::span<const std::int64_t> positions,
+                   const Bindings& bindings,
+                   std::int64_t full_unroll_limit) {
+  std::vector<std::int64_t> pos(positions.begin(), positions.end());
+  std::sort(pos.begin(), pos.end());
+  bool found = false;
+  StmtPtr out = rewrite_first_loop(
+      root,
+      [&](const Stmt& s) { return s.loop.var == loop_var; },
+      [&](const StmtPtr& loop) {
+        SYMPILER_CHECK(is_int_const(fold(loop->loop.lo, bindings)),
+                       "apply_peel: loop lower bound must fold to constant");
+        const std::int64_t lo = eval_int(fold(loop->loop.lo, bindings));
+        const ExprPtr hi = fold(loop->loop.hi, bindings);
+        std::vector<StmtPtr> seq;
+        std::int64_t cursor = lo;
+        auto residual = [&](std::int64_t from, ExprPtr to) {
+          LoopInfo li = loop->loop;
+          li.peel.clear();
+          li.lo = icon(from);
+          li.hi = std::move(to);
+          std::vector<StmtPtr> body;
+          for (const StmtPtr& b : loop->body) body.push_back(clone(b));
+          seq.push_back(for_loop(std::move(li), std::move(body)));
+        };
+        for (const std::int64_t p : pos) {
+          if (p < cursor) continue;
+          if (p > cursor) residual(cursor, icon(p));
+          // Peeled iteration: substitute, fold, unroll (Figure 1e).
+          seq.push_back(comment("peeled iteration " + std::to_string(p) +
+                                " of " + loop_var));
+          std::vector<StmtPtr> peeled;
+          for (const StmtPtr& b : loop->body)
+            peeled.push_back(substitute(b, loop->loop.var, icon(p)));
+          for (StmtPtr& f :
+               fold_children(std::move(peeled), bindings, full_unroll_limit))
+            seq.push_back(std::move(f));
+          cursor = p + 1;
+        }
+        residual(cursor, clone(hi));
+        return block(std::move(seq));
+      },
+      found);
+  SYMPILER_CHECK(found, "apply_peel: loop not found: " + loop_var);
+  return out;
+}
+
+StmtPtr apply_unroll_and_fold(const StmtPtr& root, const Bindings& bindings,
+                              std::int64_t limit) {
+  return fold_stmt(root, bindings, limit);
+}
+
+namespace {
+
+/// Returns true if the subtree contains a loop.
+bool contains_loop(const StmtPtr& s) {
+  if (!s) return false;
+  if (s->kind == StmtKind::For) return true;
+  return std::any_of(s->body.begin(), s->body.end(), contains_loop);
+}
+
+StmtPtr vectorize_rec(const StmtPtr& s) {
+  if (!s) return nullptr;
+  StmtPtr c = std::make_shared<Stmt>(*s);
+  c->body.clear();
+  for (const StmtPtr& b : s->body) c->body.push_back(vectorize_rec(b));
+  if (c->kind == StmtKind::For &&
+      std::none_of(c->body.begin(), c->body.end(), contains_loop)) {
+    c->loop.vectorize = true;
+  }
+  return c;
+}
+
+}  // namespace
+
+StmtPtr annotate_vectorize(const StmtPtr& root) { return vectorize_rec(root); }
+
+int count_loops(const StmtPtr& root) {
+  if (!root) return 0;
+  int n = root->kind == StmtKind::For ? 1 : 0;
+  for (const StmtPtr& b : root->body) n += count_loops(b);
+  return n;
+}
+
+}  // namespace sympiler::core

@@ -1,0 +1,56 @@
+// Inspector-guided and low-level AST passes (paper sections 2.3 / 2.4).
+//
+//  * VI-Prune (Figure 3 top): replace an annotated loop's iteration space
+//    with an inspection set.
+//  * VS-Block (Figure 3 bottom): replace the annotated loop nest with the
+//    blocked form (structured rewrite using the block-set symbols).
+//  * Peel: extract chosen iterations of a pruned loop as straight-line
+//    code with constants folded through the inspection sets (Figure 1e).
+//  * Unroll: fully unroll constant-trip loops up to a limit.
+//  * Vectorize: annotate innermost loops for simd emission.
+#pragma once
+
+#include <span>
+
+#include "core/ir.h"
+
+namespace sympiler::core {
+
+/// Replace the first loop marked vi_prune_candidate:
+///   for(v in lo..hi) body   ->   for(vp in 0..<size_sym>) {
+///                                  let v = <set_sym>[vp]; body }
+/// The loop keeps its annotations (so Peel can target it).
+[[nodiscard]] StmtPtr apply_vi_prune(const StmtPtr& root,
+                                     const std::string& set_sym,
+                                     const std::string& size_sym);
+
+/// Replace the first loop marked vs_block_candidate with `blocked`
+/// (the structured blocked form built by the kernel builders — the
+/// "synthesized loops contain information about the block location").
+[[nodiscard]] StmtPtr apply_vs_block(const StmtPtr& root,
+                                     const StmtPtr& blocked);
+
+/// Peel the given iteration positions of the first vi-pruned loop (the
+/// loop whose variable is `loop_var`). Peeled bodies are constant-folded
+/// through `bindings` (inspection sets + index arrays); inner loops whose
+/// folded trip count is <= full_unroll_limit are fully unrolled.
+/// Remaining iterations run in residual loops over the untouched ranges.
+[[nodiscard]] StmtPtr apply_peel(const StmtPtr& root,
+                                 const std::string& loop_var,
+                                 std::span<const std::int64_t> positions,
+                                 const Bindings& bindings,
+                                 std::int64_t full_unroll_limit);
+
+/// Fold constants everywhere and fully unroll any loop with constant
+/// bounds and trip count <= limit.
+[[nodiscard]] StmtPtr apply_unroll_and_fold(const StmtPtr& root,
+                                            const Bindings& bindings,
+                                            std::int64_t limit);
+
+/// Mark every innermost loop for simd emission.
+[[nodiscard]] StmtPtr annotate_vectorize(const StmtPtr& root);
+
+/// Count loops in the tree (testing helper).
+[[nodiscard]] int count_loops(const StmtPtr& root);
+
+}  // namespace sympiler::core

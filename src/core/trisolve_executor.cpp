@@ -1,0 +1,145 @@
+#include "core/trisolve_executor.h"
+
+#include <algorithm>
+
+namespace sympiler::core {
+
+TriSolveExecutor::TriSolveExecutor(const CscMatrix& l,
+                                   std::span<const index_t> beta,
+                                   SympilerOptions opt,
+                                   const SupernodePartition* known_blocks)
+    : l_(&l),
+      opt_(opt),
+      sets_(inspect_trisolve(l, beta, opt, known_blocks)) {
+  // Preallocate the tail buffer to the largest block tail (over all
+  // supernodes: the VS-Block-only configuration traverses every block).
+  index_t max_tail = 0;
+  for (index_t s = 0; s < sets_.blocks.count(); ++s) {
+    const index_t c1 = sets_.blocks.start[s];
+    const index_t w = sets_.blocks.width(s);
+    max_tail = std::max(max_tail, sets_.colcount[c1] - w);
+  }
+  tail_.assign(static_cast<std::size_t>(max_tail), 0.0);
+}
+
+void TriSolveExecutor::solve(std::span<value_t> x) const {
+  SYMPILER_CHECK(static_cast<index_t>(x.size()) == l_->cols(),
+                 "trisolve executor: size mismatch");
+  if (sets_.vs_block_profitable) {
+    solve_blocked(x);
+  } else {
+    solve_pruned(x);
+  }
+}
+
+void TriSolveExecutor::solve_pruned(std::span<value_t> x) const {
+  // VI-Prune only (paper Figure 1d/1e without blocking): iterate the
+  // reach-set; with low-level transformations on, iterations whose column
+  // count exceeds the peel threshold take the unrolled "peeled" body.
+  const CscMatrix& l = *l_;
+  const index_t* Li = l.rowind.data();
+  const value_t* Lx = l.values.data();
+  if (!opt_.vi_prune) {
+    // Neither transformation applied: the naive library loop.
+    for (index_t j = 0; j < l.cols(); ++j) {
+      if (x[j] == 0.0) continue;
+      const index_t p0 = l.col_begin(j);
+      const value_t xj = x[j] / Lx[p0];
+      x[j] = xj;
+      for (index_t p = p0 + 1; p < l.col_end(j); ++p)
+        x[Li[p]] -= Lx[p] * xj;
+    }
+    return;
+  }
+  for (const index_t j : sets_.reach) {
+    const index_t p0 = l.col_begin(j);
+    const index_t p1 = l.col_end(j);
+    const value_t xj = x[j] / Lx[p0];
+    x[j] = xj;
+    if (opt_.low_level && p1 - p0 - 1 > opt_.peel_colcount) {
+      // Peeled body: 4-way unrolled update (the generated code emits this
+      // with literal bounds; see codegen.cpp).
+      index_t p = p0 + 1;
+      for (; p + 3 < p1; p += 4) {
+        x[Li[p]] -= Lx[p] * xj;
+        x[Li[p + 1]] -= Lx[p + 1] * xj;
+        x[Li[p + 2]] -= Lx[p + 2] * xj;
+        x[Li[p + 3]] -= Lx[p + 3] * xj;
+      }
+      for (; p < p1; ++p) x[Li[p]] -= Lx[p] * xj;
+    } else {
+      for (index_t p = p0 + 1; p < p1; ++p) x[Li[p]] -= Lx[p] * xj;
+    }
+  }
+}
+
+void TriSolveExecutor::solve_blocked(std::span<value_t> x) const {
+  // VS-Block (+ VI-Prune): supernodal traversal. The diagonal block is
+  // solved with direct indexing (rows inside a block are consecutive — no
+  // Li lookups), and the below-block tail is accumulated densely in a
+  // gather buffer and scattered once per block.
+  const CscMatrix& l = *l_;
+  const index_t* Li = l.rowind.data();
+  const value_t* Lx = l.values.data();
+  const index_t nblocks = opt_.vi_prune
+                              ? static_cast<index_t>(sets_.sn_reach.size())
+                              : sets_.blocks.count();
+  value_t* tail = tail_.data();
+  for (index_t k = 0; k < nblocks; ++k) {
+    const index_t s = opt_.vi_prune ? sets_.sn_reach[k] : k;
+    const index_t c1 = sets_.blocks.start[s];
+    const index_t c2 = sets_.blocks.start[s + 1];
+    const index_t cr = opt_.vi_prune ? sets_.sn_first_col[k] : c1;
+    const index_t tail_len = sets_.colcount[c1] - (c2 - c1);
+
+    if (opt_.low_level && c2 - cr == 1 && cr == c1) {
+      // Peeled single-column supernode: straight scalar column, no gather
+      // buffer traffic.
+      const index_t p0 = l.col_begin(cr);
+      const value_t xj = x[cr] / Lx[p0];
+      x[cr] = xj;
+      for (index_t p = p0 + 1; p < l.col_end(cr); ++p)
+        x[Li[p]] -= Lx[p] * xj;
+      continue;
+    }
+
+    // Diagonal block: dense forward substitution over columns cr..c2-1.
+    // Within the block, the update targets are x[j+1..c2): consecutive.
+    for (index_t j = cr; j < c2; ++j) {
+      const index_t p0 = l.col_begin(j);
+      const value_t xj = x[j] / Lx[p0];
+      x[j] = xj;
+      const value_t* col = Lx + p0 + 1;
+      value_t* xrow = x.data() + j + 1;
+      const index_t blen = c2 - j - 1;
+      for (index_t t = 0; t < blen; ++t) xrow[t] -= col[t] * xj;
+    }
+    if (tail_len == 0) continue;
+
+    // Tail: tail[t] = sum_j L(tail_t, j) * x[j], accumulated densely.
+    std::fill(tail, tail + tail_len, 0.0);
+    index_t j = cr;
+    if (opt_.low_level) {
+      // Process two columns at a time (register reuse / ILP — the
+      // "vectorization" the VS-Block pass annotates).
+      for (; j + 1 < c2; j += 2) {
+        const value_t xa = x[j];
+        const value_t xb = x[j + 1];
+        const value_t* ca = Lx + l.col_begin(j) + (c2 - j);
+        const value_t* cb = Lx + l.col_begin(j + 1) + (c2 - j - 1);
+        for (index_t t = 0; t < tail_len; ++t)
+          tail[t] += ca[t] * xa + cb[t] * xb;
+      }
+    }
+    for (; j < c2; ++j) {
+      const value_t xj = x[j];
+      const value_t* cj = Lx + l.col_begin(j) + (c2 - j);
+      for (index_t t = 0; t < tail_len; ++t) tail[t] += cj[t] * xj;
+    }
+    // One indirect scatter per block (row list of the first column).
+    const index_t* rows = Li + l.col_begin(c1) + (c2 - c1);
+    for (index_t t = 0; t < tail_len; ++t) x[rows[t]] -= tail[t];
+  }
+}
+
+}  // namespace sympiler::core

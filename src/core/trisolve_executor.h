@@ -1,0 +1,52 @@
+// Sympiler triangular-solve executor: the numeric-only solver driven by
+// the inspection sets (paper Figure 1e semantics).
+//
+// The executor runs exactly the schedule the generated C code runs — the
+// VS-Block supernodal traversal restricted to the supernode-level
+// prune-set, with peeled single-column supernodes and unrolled/vectorized
+// inner loops — but reads the sets from memory instead of having them
+// baked into the instruction stream. codegen.h emits the baked-constant C
+// version; tests assert both produce identical results.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/inspector.h"
+#include "core/options.h"
+#include "sparse/csc.h"
+#include "util/common.h"
+
+namespace sympiler::core {
+
+class TriSolveExecutor {
+ public:
+  /// Symbolic inspection happens here ("compile time"). `l` is borrowed
+  /// and must outlive the executor; its pattern and the pattern of beta
+  /// are fixed from this point on. Pass `known_blocks` when L came out of
+  /// the Cholesky inspector (its supernodes are already known).
+  TriSolveExecutor(const CscMatrix& l, std::span<const index_t> beta,
+                   SympilerOptions opt = {},
+                   const SupernodePartition* known_blocks = nullptr);
+
+  /// Numeric solve: x holds b on entry (with the inspected pattern), the
+  /// solution on exit. No symbolic work happens here.
+  void solve(std::span<value_t> x) const;
+
+  [[nodiscard]] const TriSolveSets& sets() const { return sets_; }
+  [[nodiscard]] bool vs_block_applied() const {
+    return sets_.vs_block_profitable;
+  }
+  [[nodiscard]] double flops() const { return sets_.flops; }
+
+ private:
+  void solve_pruned(std::span<value_t> x) const;
+  void solve_blocked(std::span<value_t> x) const;
+
+  const CscMatrix* l_;
+  SympilerOptions opt_;
+  TriSolveSets sets_;
+  mutable std::vector<value_t> tail_;  ///< gather buffer for block tails
+};
+
+}  // namespace sympiler::core

@@ -1,0 +1,273 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <random>
+
+namespace sympiler::gen {
+
+namespace {
+
+/// Recursive nested-dissection numbering of an nx-by-ny-by-nz grid.
+/// Cells of the two halves are numbered first, the separator plane last,
+/// so separator columns eliminate late and form large supernodes.
+class GridNumberer {
+ public:
+  GridNumberer(index_t nx, index_t ny, index_t nz)
+      : nx_(nx), ny_(ny), nz_(nz),
+        order_(static_cast<std::size_t>(nx) * ny * nz, -1) {}
+
+  std::vector<index_t> number(GridOrder order) {
+    counter_ = 0;
+    if (order == GridOrder::Natural) {
+      for (index_t k = 0; k < static_cast<index_t>(order_.size()); ++k)
+        order_[k] = k;
+    } else {
+      dissect(0, nx_, 0, ny_, 0, nz_);
+    }
+    return std::move(order_);
+  }
+
+ private:
+  [[nodiscard]] index_t cell(index_t x, index_t y, index_t z) const {
+    return (z * ny_ + y) * nx_ + x;
+  }
+
+  void number_box(index_t x0, index_t x1, index_t y0, index_t y1, index_t z0,
+                  index_t z1) {
+    for (index_t z = z0; z < z1; ++z)
+      for (index_t y = y0; y < y1; ++y)
+        for (index_t x = x0; x < x1; ++x) order_[cell(x, y, z)] = counter_++;
+  }
+
+  void dissect(index_t x0, index_t x1, index_t y0, index_t y1, index_t z0,
+               index_t z1) {
+    const index_t dx = x1 - x0, dy = y1 - y0, dz = z1 - z0;
+    if (dx <= 0 || dy <= 0 || dz <= 0) return;
+    constexpr index_t kLeaf = 6;  // stop when the box is small
+    if (dx <= kLeaf && dy <= kLeaf && dz <= kLeaf) {
+      number_box(x0, x1, y0, y1, z0, z1);
+      return;
+    }
+    // Split the longest dimension with a one-cell-thick separator.
+    if (dx >= dy && dx >= dz) {
+      const index_t mid = x0 + dx / 2;
+      dissect(x0, mid, y0, y1, z0, z1);
+      dissect(mid + 1, x1, y0, y1, z0, z1);
+      number_box(mid, mid + 1, y0, y1, z0, z1);
+    } else if (dy >= dz) {
+      const index_t mid = y0 + dy / 2;
+      dissect(x0, x1, y0, mid, z0, z1);
+      dissect(x0, x1, mid + 1, y1, z0, z1);
+      number_box(x0, x1, mid, mid + 1, z0, z1);
+    } else {
+      const index_t mid = z0 + dz / 2;
+      dissect(x0, x1, y0, y1, z0, mid);
+      dissect(x0, x1, y0, y1, mid + 1, z1);
+      number_box(x0, x1, y0, y1, mid, mid + 1);
+    }
+  }
+
+  index_t nx_, ny_, nz_;
+  index_t counter_ = 0;
+  std::vector<index_t> order_;
+};
+
+CscMatrix laplacian(index_t nx, index_t ny, index_t nz, GridOrder order) {
+  SYMPILER_CHECK(nx > 0 && ny > 0 && nz > 0, "laplacian: bad grid dims");
+  const index_t n = nx * ny * nz;
+  const std::vector<index_t> num = GridNumberer(nx, ny, nz).number(order);
+  const value_t diag = 2.0 * ((nx > 1) + (ny > 1) + (nz > 1));
+  std::vector<Triplet> trip;
+  trip.reserve(static_cast<std::size_t>(n) * 4);
+  auto cell = [&](index_t x, index_t y, index_t z) {
+    return num[(z * ny + y) * nx + x];
+  };
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t c = cell(x, y, z);
+        trip.push_back({c, c, diag});
+        auto link = [&](index_t o) {
+          index_t i = std::max(c, o), j = std::min(c, o);
+          trip.push_back({i, j, -1.0});
+        };
+        if (x + 1 < nx) link(cell(x + 1, y, z));
+        if (y + 1 < ny) link(cell(x, y + 1, z));
+        if (z + 1 < nz) link(cell(x, y, z + 1));
+      }
+    }
+  }
+  return CscMatrix::from_triplets(n, n, trip);
+}
+
+}  // namespace
+
+CscMatrix grid2d_laplacian(index_t nx, index_t ny, GridOrder order) {
+  return laplacian(nx, ny, 1, order);
+}
+
+CscMatrix grid3d_laplacian(index_t nx, index_t ny, index_t nz,
+                           GridOrder order) {
+  return laplacian(nx, ny, nz, order);
+}
+
+CscMatrix block_structural(index_t nx, index_t ny, index_t dofs,
+                           std::uint64_t seed, GridOrder order) {
+  SYMPILER_CHECK(nx > 0 && ny > 0 && dofs > 0, "block_structural: bad dims");
+  const index_t nnodes = nx * ny;
+  const index_t n = nnodes * dofs;
+  const std::vector<index_t> num = GridNumberer(nx, ny, 1).number(order);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<value_t> dist(0.1, 1.0);
+  auto node = [&](index_t x, index_t y) { return num[y * nx + x]; };
+
+  std::vector<Triplet> trip;
+  std::vector<value_t> dominance(static_cast<std::size_t>(n), 0.0);
+  auto couple = [&](index_t a, index_t b) {
+    // Dense dofs-by-dofs block between nodes a < b (new numbering).
+    for (index_t da = 0; da < dofs; ++da) {
+      for (index_t db = 0; db < dofs; ++db) {
+        const index_t i = b * dofs + db;
+        const index_t j = a * dofs + da;
+        const value_t v = -dist(rng);
+        trip.push_back({i, j, v});
+        dominance[i] += -v;
+        dominance[j] += -v;
+      }
+    }
+  };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t c = node(x, y);
+      // 9-point neighborhood, handled once per unordered pair.
+      for (index_t ddy = -1; ddy <= 1; ++ddy) {
+        for (index_t ddx = -1; ddx <= 1; ++ddx) {
+          if (ddx == 0 && ddy == 0) continue;
+          const index_t xx = x + ddx, yy = y + ddy;
+          if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
+          const index_t o = node(xx, yy);
+          if (o > c) couple(c, o);
+        }
+      }
+      // In-node dense coupling (lower part).
+      for (index_t da = 0; da < dofs; ++da) {
+        for (index_t db = da + 1; db < dofs; ++db) {
+          const index_t i = c * dofs + db;
+          const index_t j = c * dofs + da;
+          const value_t v = -dist(rng);
+          trip.push_back({i, j, v});
+          dominance[i] += -v;
+          dominance[j] += -v;
+        }
+      }
+    }
+  }
+  for (index_t i = 0; i < n; ++i)
+    trip.push_back({i, i, dominance[i] + 1.0});
+  return CscMatrix::from_triplets(n, n, trip);
+}
+
+CscMatrix random_spd(index_t n, double avg_offdiag_per_col,
+                     std::uint64_t seed) {
+  SYMPILER_CHECK(n > 0, "random_spd: n must be positive");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<value_t> dist(0.1, 1.0);
+  std::uniform_int_distribution<index_t> row_of(0, n - 1);
+  const auto total =
+      static_cast<std::int64_t>(avg_offdiag_per_col * static_cast<double>(n));
+  std::vector<Triplet> trip;
+  std::vector<value_t> dominance(static_cast<std::size_t>(n), 0.0);
+  for (std::int64_t e = 0; e < total; ++e) {
+    index_t i = row_of(rng);
+    index_t j = row_of(rng);
+    if (i == j) continue;
+    if (i < j) std::swap(i, j);
+    const value_t v = -dist(rng);
+    trip.push_back({i, j, v});  // duplicates sum; dominance still covers them
+    dominance[i] += -v;
+    dominance[j] += -v;
+  }
+  for (index_t i = 0; i < n; ++i)
+    trip.push_back({i, i, dominance[i] + 1.0});
+  return CscMatrix::from_triplets(n, n, trip);
+}
+
+CscMatrix banded_spd(index_t n, index_t half_bandwidth, std::uint64_t seed) {
+  SYMPILER_CHECK(n > 0 && half_bandwidth >= 0, "banded_spd: bad parameters");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<value_t> dist(0.1, 1.0);
+  std::vector<Triplet> trip;
+  std::vector<value_t> dominance(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    const index_t last = std::min<index_t>(n - 1, j + half_bandwidth);
+    for (index_t i = j + 1; i <= last; ++i) {
+      const value_t v = -dist(rng);
+      trip.push_back({i, j, v});
+      dominance[i] += -v;
+      dominance[j] += -v;
+    }
+  }
+  for (index_t i = 0; i < n; ++i)
+    trip.push_back({i, i, dominance[i] + 1.0});
+  return CscMatrix::from_triplets(n, n, trip);
+}
+
+CscMatrix power_grid(index_t n, index_t extra_edges, std::uint64_t seed) {
+  SYMPILER_CHECK(n > 1, "power_grid: n must be > 1");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<value_t> dist(0.1, 1.0);
+  std::vector<Triplet> trip;
+  std::vector<value_t> dominance(static_cast<std::size_t>(n), 0.0);
+  auto add_edge = [&](index_t a, index_t b) {
+    if (a == b) return;
+    const index_t i = std::max(a, b), j = std::min(a, b);
+    const value_t v = -dist(rng);
+    trip.push_back({i, j, v});
+    dominance[i] += -v;
+    dominance[j] += -v;
+  };
+  // Random spanning tree: attach node i to a random earlier node.
+  for (index_t i = 1; i < n; ++i) {
+    std::uniform_int_distribution<index_t> earlier(0, i - 1);
+    add_edge(i, earlier(rng));
+  }
+  std::uniform_int_distribution<index_t> any(0, n - 1);
+  for (index_t e = 0; e < extra_edges; ++e) add_edge(any(rng), any(rng));
+  for (index_t i = 0; i < n; ++i)
+    trip.push_back({i, i, dominance[i] + 1.0});
+  return CscMatrix::from_triplets(n, n, trip);
+}
+
+std::vector<value_t> rhs_from_column(const CscMatrix& a_lower, index_t j,
+                                     std::uint64_t seed) {
+  SYMPILER_CHECK(j >= 0 && j < a_lower.cols(), "rhs_from_column: bad column");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<value_t> dist(0.5, 1.5);
+  std::vector<value_t> b(static_cast<std::size_t>(a_lower.rows()), 0.0);
+  for (index_t p = a_lower.col_begin(j); p < a_lower.col_end(j); ++p)
+    b[a_lower.rowind[p]] = dist(rng);
+  // Mirror the symmetric part: entries A(j, k) with k < j.
+  for (index_t k = 0; k < j; ++k) {
+    if (a_lower.at(j, k) != 0.0) b[k] = dist(rng);
+  }
+  return b;
+}
+
+std::vector<value_t> sparse_rhs(index_t n, index_t nnz, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<value_t> dist(0.5, 1.5);
+  std::uniform_int_distribution<index_t> pos(0, n - 1);
+  std::vector<value_t> b(static_cast<std::size_t>(n), 0.0);
+  for (index_t k = 0; k < nnz; ++k) b[pos(rng)] = dist(rng);
+  return b;
+}
+
+std::vector<value_t> dense_rhs(index_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+  std::vector<value_t> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = dist(rng);
+  return b;
+}
+
+}  // namespace sympiler::gen

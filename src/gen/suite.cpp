@@ -1,0 +1,53 @@
+#include "gen/suite.h"
+
+#include "gen/generators.h"
+
+namespace sympiler::gen {
+
+const std::vector<SuiteSpec>& suite() {
+  static const std::vector<SuiteSpec> problems = {
+      {1, "cbuckle", "block_structural 68x68x3 dofs, nested dissection", 14,
+       0.677,
+       [] { return block_structural(68, 68, 3, 101, GridOrder::NestedDissection); }},
+      {2, "Pres_Poisson", "grid2d 122x122 Laplacian, nested dissection", 15,
+       0.716,
+       [] { return grid2d_laplacian(122, 122, GridOrder::NestedDissection); }},
+      {3, "gyro", "block_structural 76x76x3 dofs, natural (banded)", 17, 1.02,
+       [] { return block_structural(76, 76, 3, 103, GridOrder::Natural); }},
+      {4, "gyro_k", "block_structural 76x76x3 dofs, natural, other values", 17,
+       1.02,
+       [] { return block_structural(76, 76, 3, 104, GridOrder::Natural); }},
+      {5, "Dubcova2", "grid2d 50x1300 strip Laplacian, natural (banded)", 65,
+       1.03,
+       [] { return grid2d_laplacian(50, 1300, GridOrder::Natural); }},
+      {6, "msc23052", "block_structural 88x88x3 dofs, nested dissection", 23,
+       1.14,
+       [] { return block_structural(88, 88, 3, 106, GridOrder::NestedDissection); }},
+      {7, "thermomech_dM", "grid2d 40x2500 strip Laplacian, natural", 204,
+       1.42,
+       [] { return grid2d_laplacian(40, 2500, GridOrder::Natural); }},
+      {8, "Dubcova3", "grid3d 26x26x26 Laplacian, nested dissection", 147,
+       3.64,
+       [] {
+         return grid3d_laplacian(26, 26, 26, GridOrder::NestedDissection);
+       }},
+      {9, "parabolic_fem", "grid2d 36x3600 strip Laplacian, natural", 526,
+       3.67,
+       [] { return grid2d_laplacian(36, 3600, GridOrder::Natural); }},
+      {10, "ecology2", "grid2d 400x400 Laplacian, nested dissection", 1000,
+       5.00,
+       [] { return grid2d_laplacian(400, 400, GridOrder::NestedDissection); }},
+      {11, "tmt_sym", "grid2d 430x430 Laplacian, nested dissection", 727, 5.08,
+       [] { return grid2d_laplacian(430, 430, GridOrder::NestedDissection); }},
+  };
+  return problems;
+}
+
+const SuiteSpec& suite_problem(int id) {
+  for (const SuiteSpec& s : suite())
+    if (s.id == id) return s;
+  throw invalid_matrix_error("suite: no problem with id " +
+                             std::to_string(id));
+}
+
+}  // namespace sympiler::gen

@@ -1,0 +1,103 @@
+#include "graph/etree.h"
+
+#include <algorithm>
+
+#include "sparse/ops.h"
+
+namespace sympiler {
+
+std::vector<index_t> elimination_tree(const CscMatrix& a_lower) {
+  const index_t n = a_lower.cols();
+  SYMPILER_CHECK(a_lower.rows() == n, "etree: matrix must be square");
+  // Liu's algorithm consumes the *upper* triangle row-by-row; for lower
+  // storage the transpose gives, in its column i, exactly the entries
+  // A(i, j) with j <= i.
+  const CscMatrix upper = transpose(a_lower);
+  std::vector<index_t> parent(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n), -1);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t p = upper.col_begin(i); p < upper.col_end(i); ++p) {
+      index_t j = upper.rowind[p];  // A(i, j) != 0 with j <= i
+      // Walk from j up to the root or to i, compressing the path onto i.
+      while (j != -1 && j < i) {
+        const index_t next = ancestor[j];
+        ancestor[j] = i;
+        if (next == -1) parent[j] = i;
+        j = next;
+      }
+    }
+  }
+  return parent;
+}
+
+ChildLists build_child_lists(std::span<const index_t> parent) {
+  const auto n = static_cast<index_t>(parent.size());
+  ChildLists cl;
+  cl.head.assign(static_cast<std::size_t>(n), -1);
+  cl.next.assign(static_cast<std::size_t>(n), -1);
+  // Iterate in reverse so lists come out in ascending child order.
+  for (index_t v = n - 1; v >= 0; --v) {
+    const index_t p = parent[v];
+    if (p == -1) continue;
+    cl.next[v] = cl.head[p];
+    cl.head[p] = v;
+  }
+  for (index_t v = 0; v < n; ++v)
+    if (parent[v] == -1) cl.roots.push_back(v);
+  return cl;
+}
+
+std::vector<index_t> postorder(std::span<const index_t> parent) {
+  const auto n = static_cast<index_t>(parent.size());
+  const ChildLists cl = build_child_lists(parent);
+  std::vector<index_t> post;
+  post.reserve(static_cast<std::size_t>(n));
+  // Iterative DFS; next_child[v] tracks the next unvisited child of v.
+  std::vector<index_t> next_child(cl.head);
+  std::vector<index_t> stack;
+  for (const index_t root : cl.roots) {
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      const index_t c = next_child[v];
+      if (c == -1) {
+        post.push_back(v);
+        stack.pop_back();
+      } else {
+        next_child[v] = cl.next[c];
+        stack.push_back(c);
+      }
+    }
+  }
+  return post;
+}
+
+std::vector<index_t> child_counts(std::span<const index_t> parent) {
+  std::vector<index_t> count(parent.size(), 0);
+  for (const index_t p : parent)
+    if (p != -1) ++count[p];
+  return count;
+}
+
+bool is_valid_etree(std::span<const index_t> parent) {
+  const auto n = static_cast<index_t>(parent.size());
+  for (index_t v = 0; v < n; ++v) {
+    const index_t p = parent[v];
+    if (p == -1) continue;
+    if (p <= v || p >= n) return false;  // parent > child rules out cycles
+  }
+  return true;
+}
+
+std::vector<index_t> levels_from_leaves(std::span<const index_t> parent) {
+  const auto n = static_cast<index_t>(parent.size());
+  std::vector<index_t> level(static_cast<std::size_t>(n), 0);
+  // parent[v] > v, so a forward sweep sees children before parents.
+  for (index_t v = 0; v < n; ++v) {
+    const index_t p = parent[v];
+    if (p != -1) level[p] = std::max(level[p], level[v] + 1);
+  }
+  return level;
+}
+
+}  // namespace sympiler

@@ -1,0 +1,48 @@
+// Elimination tree (Liu) and related traversals.
+//
+// The etree is the paper's inspection graph for Cholesky (Table 1):
+// parent[j] = min{ i > j : L(i,j) != 0 }, a spanning forest of the filled
+// graph G+(A). Inputs are symmetric matrices stored as their lower
+// triangle.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csc.h"
+#include "util/common.h"
+
+namespace sympiler {
+
+/// Compute the elimination tree of a symmetric matrix stored lower.
+/// Returns parent[], with -1 marking roots. O(nnz * alpha(n)) via path
+/// compression on an ancestor array (Liu's algorithm).
+[[nodiscard]] std::vector<index_t> elimination_tree(const CscMatrix& a_lower);
+
+/// Postorder of the forest given by parent[] (children before parents,
+/// siblings in index order). Returns a permutation `post` where post[k] is
+/// the k-th node visited.
+[[nodiscard]] std::vector<index_t> postorder(std::span<const index_t> parent);
+
+/// Number of children of each node in the forest.
+[[nodiscard]] std::vector<index_t> child_counts(std::span<const index_t> parent);
+
+/// First-child / next-sibling representation of the forest.
+struct ChildLists {
+  std::vector<index_t> head;  ///< head[v]: first child of v, -1 if none
+  std::vector<index_t> next;  ///< next[c]: next sibling of child c, -1 if last
+  std::vector<index_t> roots;  ///< all roots in index order
+};
+[[nodiscard]] ChildLists build_child_lists(std::span<const index_t> parent);
+
+/// True iff parent[] is a valid forest over n nodes with parent[j] > j
+/// (etrees always satisfy this) and no cycles.
+[[nodiscard]] bool is_valid_etree(std::span<const index_t> parent);
+
+/// Level of each node counted from the leaves: leaf = 0,
+/// level[v] = 1 + max(level of children). Used by the level-set parallel
+/// scheduler extension.
+[[nodiscard]] std::vector<index_t> levels_from_leaves(
+    std::span<const index_t> parent);
+
+}  // namespace sympiler

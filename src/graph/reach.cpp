@@ -1,0 +1,104 @@
+#include "graph/reach.h"
+
+#include <algorithm>
+
+namespace sympiler {
+
+std::vector<index_t> reach(const CscMatrix& l, std::span<const index_t> beta) {
+  const index_t n = l.cols();
+  SYMPILER_CHECK(l.rows() == n, "reach: L must be square");
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> out;
+  // Iterative DFS. node_stack holds the DFS path; edge_stack[k] is the next
+  // position in column node_stack[k] still to be explored (CSparse's pstack).
+  std::vector<index_t> node_stack;
+  std::vector<index_t> edge_stack;
+  for (const index_t root : beta) {
+    SYMPILER_CHECK(root >= 0 && root < n, "reach: beta index out of range");
+    if (visited[root]) continue;
+    node_stack.assign(1, root);
+    edge_stack.assign(1, l.col_begin(root));
+    visited[root] = 1;
+    while (!node_stack.empty()) {
+      const index_t j = node_stack.back();
+      index_t p = edge_stack.back();
+      const index_t pend = l.col_end(j);
+      bool descended = false;
+      for (; p < pend; ++p) {
+        const index_t i = l.rowind[p];
+        if (i == j) continue;  // diagonal: no self edge
+        if (!visited[i]) {
+          visited[i] = 1;
+          edge_stack.back() = p + 1;  // resume after this edge
+          node_stack.push_back(i);
+          edge_stack.push_back(l.col_begin(i));
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        out.push_back(j);  // all successors done: j finishes
+        node_stack.pop_back();
+        edge_stack.pop_back();
+      }
+    }
+  }
+  // Nodes were emitted in DFS finish order (successors first); reversing
+  // yields a topological order of the reach DAG.
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<index_t> reach_from_dense(const CscMatrix& l,
+                                      std::span<const value_t> b) {
+  std::vector<index_t> beta;
+  for (index_t i = 0; i < static_cast<index_t>(b.size()); ++i)
+    if (b[i] != 0.0) beta.push_back(i);
+  return reach(l, beta);
+}
+
+std::vector<index_t> reach_reference(const CscMatrix& l,
+                                     std::span<const index_t> beta) {
+  const index_t n = l.cols();
+  std::vector<char> in_set(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> work(beta.begin(), beta.end());
+  for (const index_t b : work) in_set[b] = 1;
+  while (!work.empty()) {
+    const index_t j = work.back();
+    work.pop_back();
+    for (index_t p = l.col_begin(j); p < l.col_end(j); ++p) {
+      const index_t i = l.rowind[p];
+      if (i != j && !in_set[i]) {
+        in_set[i] = 1;
+        work.push_back(i);
+      }
+    }
+  }
+  // Column order is one valid topological order for a lower-triangular DG.
+  std::vector<index_t> out;
+  for (index_t j = 0; j < n; ++j)
+    if (in_set[j]) out.push_back(j);
+  return out;
+}
+
+bool is_topological_reach_order(const CscMatrix& l,
+                                std::span<const index_t> order) {
+  const index_t n = l.cols();
+  std::vector<index_t> position(static_cast<std::size_t>(n), -1);
+  for (index_t k = 0; k < static_cast<index_t>(order.size()); ++k) {
+    const index_t j = order[k];
+    if (j < 0 || j >= n || position[j] != -1) return false;  // dup/range
+    position[j] = k;
+  }
+  for (const index_t j : order) {
+    for (index_t p = l.col_begin(j); p < l.col_end(j); ++p) {
+      const index_t i = l.rowind[p];
+      if (i == j) continue;
+      // Edge j -> i: if i is in the order it must come after j.
+      if (position[i] != -1 && position[i] < position[j]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sympiler

@@ -1,0 +1,45 @@
+// Reach-set computation on the dependence graph DG_L (Gilbert & Peierls).
+//
+// DG_L for a lower-triangular matrix L has an edge (j -> i) for every
+// off-diagonal nonzero L(i,j): column i of the triangular solve consumes
+// x[j]. The nonzero pattern of the solution of L x = b equals
+// Reach_L(beta), beta = {i | b_i != 0} (numerical cancellation neglected).
+// This is the paper's VI-Prune inspection set for triangular solve
+// (Table 1: inspection graph DG + SP(RHS), strategy DFS, set = reach-set).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csc.h"
+#include "util/common.h"
+
+namespace sympiler {
+
+/// Depth-first search over DG_L from the nodes in `beta`.
+/// Returns the reach-set in topological order: if DG_L has an edge
+/// (j -> i) and both are in the set, j appears before i. Iterating the
+/// result left-to-right is therefore a valid triangular-solve schedule.
+///
+/// L must be square lower-triangular CSC with sorted row indices and a
+/// stored diagonal. Complexity: O(sum of out-degrees of reached nodes),
+/// i.e. proportional to the number of edges traversed — independent of n.
+[[nodiscard]] std::vector<index_t> reach(const CscMatrix& l,
+                                         std::span<const index_t> beta);
+
+/// Reach-set from the nonzero pattern of a sparse RHS column b
+/// (convenience overload for dense b storage: beta = {i | b[i] != 0}).
+[[nodiscard]] std::vector<index_t> reach_from_dense(
+    const CscMatrix& l, std::span<const value_t> b);
+
+/// Brute-force reference (simple BFS, then stable ordering by repeated
+/// relaxation). Used only by tests.
+[[nodiscard]] std::vector<index_t> reach_reference(
+    const CscMatrix& l, std::span<const index_t> beta);
+
+/// Verify `order` is a topological order of the sub-DAG of DG_L induced by
+/// the set of its own nodes (each edge source precedes its target).
+[[nodiscard]] bool is_topological_reach_order(const CscMatrix& l,
+                                              std::span<const index_t> order);
+
+}  // namespace sympiler

@@ -1,0 +1,58 @@
+// Symbolic Cholesky analysis: row patterns (ereach), the full fill pattern
+// of L (paper Eq. 1), and column counts.
+//
+// These are the Cholesky inspection strategies of paper Table 1:
+//   VI-Prune : etree + SP(A), single-node up-traversal -> prune-set SP(L_j*)
+//   VS-Block : etree + ColCount(A), up-traversal        -> block-set
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csc.h"
+#include "util/common.h"
+
+namespace sympiler {
+
+/// Work-space and precomputed structure for repeated ereach queries.
+/// `upper` is transpose(a_lower): its column i holds the entries A(i, j),
+/// j <= i, i.e. row i of the lower triangle.
+class ERreach {
+ public:
+  ERreach(const CscMatrix& a_lower, std::span<const index_t> parent);
+
+  /// Nonzero pattern of row i of L, *excluding* the diagonal, in
+  /// topological (elimination) order: exactly the columns whose updates
+  /// column i's factorization consumes. This is the Cholesky prune-set.
+  /// The returned span aliases internal storage valid until the next call.
+  [[nodiscard]] std::span<const index_t> row_pattern(index_t i);
+
+ private:
+  CscMatrix upper_;
+  std::vector<index_t> parent_;
+  std::vector<index_t> mark_;   // mark_[v] == stamp_ <=> visited this query
+  index_t stamp_ = 0;           // per-query epoch; avoids clearing mark_
+  std::vector<index_t> out_;    // result buffer
+  std::vector<index_t> stack_;
+};
+
+/// Result of the full symbolic factorization.
+struct SymbolicFactor {
+  std::vector<index_t> parent;     ///< elimination tree
+  std::vector<index_t> colcount;   ///< nnz(L(:,j)) including the diagonal
+  CscMatrix l_pattern;             ///< pattern of L, values allocated = 0
+  std::int64_t fill_nnz = 0;       ///< nnz(L)
+  double flops = 0.0;              ///< factorization flops: sum cc_j^2
+};
+
+/// Compute the elimination tree and the exact pattern of L (paper Eq. 1,
+/// evaluated row-wise via ereach so every entry is produced exactly once,
+/// already sorted). O(nnz(L)) time.
+[[nodiscard]] SymbolicFactor symbolic_cholesky(const CscMatrix& a_lower);
+
+/// Reference implementation of Eq. 1 directly: pattern of column j is
+/// A(j:n, j) union of children patterns minus their diagonals. Quadratic
+/// worst case; used by tests to cross-check symbolic_cholesky.
+[[nodiscard]] CscMatrix symbolic_cholesky_reference(const CscMatrix& a_lower);
+
+}  // namespace sympiler

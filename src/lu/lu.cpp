@@ -1,0 +1,161 @@
+#include "lu/lu.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "solvers/trisolve.h"
+
+namespace sympiler::lu {
+
+LuSymbolic symbolic_lu(const CscMatrix& a) {
+  const index_t n = a.cols();
+  SYMPILER_CHECK(a.rows() == n, "symbolic_lu: matrix must be square");
+  LuSymbolic sym;
+  // Column patterns of L (rows >= j) and U (rows <= j), built left to
+  // right. The pattern of column j is Reach_{L(:,0:j-1)}(pattern A(:,j)),
+  // computed by DFS over the partial L using per-column adjacency into the
+  // growing structure.
+  std::vector<std::vector<index_t>> lcols(static_cast<std::size_t>(n));
+  std::vector<std::vector<index_t>> ucols(static_cast<std::size_t>(n));
+  std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> node_stack, edge_stack, found;
+  for (index_t j = 0; j < n; ++j) {
+    found.clear();
+    for (index_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+      const index_t root = a.rowind[p];
+      if (mark[root] == j) continue;
+      // DFS through columns k < j (each visited column k contributes its
+      // L-column rows as further reachable vertices).
+      node_stack.assign(1, root);
+      edge_stack.assign(1, 0);
+      mark[root] = j;
+      while (!node_stack.empty()) {
+        const index_t v = node_stack.back();
+        bool descended = false;
+        if (v < j) {
+          const auto& lv = lcols[v];
+          for (index_t e = edge_stack.back();
+               e < static_cast<index_t>(lv.size()); ++e) {
+            const index_t i = lv[e];
+            if (i != v && mark[i] != j) {
+              mark[i] = j;
+              edge_stack.back() = e + 1;
+              node_stack.push_back(i);
+              edge_stack.push_back(0);
+              descended = true;
+              break;
+            }
+          }
+        }
+        if (!descended) {
+          found.push_back(v);
+          node_stack.pop_back();
+          edge_stack.pop_back();
+        }
+      }
+    }
+    std::sort(found.begin(), found.end());
+    bool has_diag = false;
+    for (const index_t i : found) {
+      if (i < j) {
+        ucols[j].push_back(i);
+      } else {
+        if (i == j) has_diag = true;
+        lcols[j].push_back(i);
+      }
+    }
+    if (!has_diag) {
+      // Structural zero pivot would make U singular; keep the slot so the
+      // numeric phase reports it cleanly.
+      lcols[j].insert(lcols[j].begin(), j);
+    }
+    ucols[j].push_back(j);  // U diagonal = pivot position
+    // Flops: for each k in U(:,j) off-diag, 2*|L(:,k)| updates.
+    for (const index_t k : ucols[j])
+      if (k != j)
+        sym.flops += 2 * static_cast<std::int64_t>(lcols[k].size());
+  }
+  auto build = [&](const std::vector<std::vector<index_t>>& cols) {
+    CscMatrix m(n, n);
+    for (index_t j = 0; j < n; ++j) {
+      for (const index_t i : cols[j]) {
+        m.rowind.push_back(i);
+        m.values.push_back(0.0);
+      }
+      m.colptr[j + 1] = static_cast<index_t>(m.rowind.size());
+    }
+    return m;
+  };
+  sym.l_pattern = build(lcols);
+  sym.u_pattern = build(ucols);
+  return sym;
+}
+
+LuFactor::LuFactor(const CscMatrix& a) {
+  LuSymbolic sym = symbolic_lu(a);
+  l_ = std::move(sym.l_pattern);
+  u_ = std::move(sym.u_pattern);
+  flops_ = sym.flops;
+}
+
+void LuFactor::factorize(const CscMatrix& a) {
+  const index_t n = a.cols();
+  SYMPILER_CHECK(a.cols() == l_.cols(), "lu: pattern mismatch");
+  std::vector<value_t> x(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    // Scatter A(:,j).
+    for (index_t p = a.col_begin(j); p < a.col_end(j); ++p)
+      x[a.rowind[p]] = a.values[p];
+    // Sparse lower solve restricted to the precomputed U-column pattern
+    // (ascending order is topological for a lower-triangular dependence
+    // graph). L has unit diagonal: no division in the elimination.
+    for (index_t q = u_.col_begin(j); q < u_.col_end(j); ++q) {
+      const index_t k = u_.rowind[q];
+      if (k == j) continue;
+      const value_t xk = x[k];
+      if (xk == 0.0) continue;
+      for (index_t p = l_.col_begin(k); p < l_.col_end(k); ++p) {
+        const index_t i = l_.rowind[p];
+        if (i != k) x[i] -= l_.values[p] * xk;
+      }
+    }
+    // Gather U(:,j) and L(:,j).
+    for (index_t q = u_.col_begin(j); q < u_.col_end(j); ++q) {
+      const index_t i = u_.rowind[q];
+      u_.values[q] = x[i];
+      if (i != j) x[i] = 0.0;
+    }
+    const value_t pivot = x[j];
+    if (pivot == 0.0)
+      throw numerical_error("lu: zero pivot at column " + std::to_string(j));
+    x[j] = 0.0;
+    for (index_t p = l_.col_begin(j); p < l_.col_end(j); ++p) {
+      const index_t i = l_.rowind[p];
+      if (i == j) {
+        l_.values[p] = 1.0;
+      } else {
+        l_.values[p] = x[i] / pivot;
+        x[i] = 0.0;
+      }
+    }
+  }
+  factorized_ = true;
+}
+
+void LuFactor::solve(std::span<value_t> bx) const {
+  SYMPILER_CHECK(factorized_, "lu solve() before factorize()");
+  // L y = b (unit lower), then U x = y (upper: transpose-style backward
+  // substitution over columns).
+  solvers::trisolve_naive(l_, bx);
+  for (index_t j = u_.cols() - 1; j >= 0; --j) {
+    const index_t pdiag = u_.col_end(j) - 1;  // diagonal is the last row
+    const value_t piv = u_.values[pdiag];
+    if (piv == 0.0) throw numerical_error("lu solve: zero diagonal in U");
+    const value_t xj = bx[j] / piv;
+    bx[j] = xj;
+    for (index_t p = u_.col_begin(j); p < pdiag; ++p)
+      bx[u_.rowind[p]] -= u_.values[p] * xj;
+  }
+}
+
+}  // namespace sympiler::lu

@@ -1,0 +1,51 @@
+// Sparse LU via the Gilbert-Peierls left-looking algorithm — the paper's
+// section 3.3 "other matrix methods": every column factorization is a
+// sparse triangular solve whose iteration space is a reach-set, so the
+// same symbolic machinery (DFS over the dependence graph of the partial
+// factor) applies.
+//
+// This is the static-pattern variant (no pivoting), matching Sympiler's
+// fixed-sparsity model: the full patterns of L and U are computed once by
+// the symbolic phase (symbolic GP), and the numeric phase consumes the
+// precomputed column reach-sets. Suitable for diagonally dominant /
+// SPD-like systems (the KLU use case the paper cites for circuit
+// simulation).
+#pragma once
+
+#include <span>
+
+#include "sparse/csc.h"
+#include "util/common.h"
+
+namespace sympiler::lu {
+
+/// Symbolic LU: patterns of L (unit lower, diagonal stored) and U (upper,
+/// diagonal stored), column by column via reachability on the partial L.
+struct LuSymbolic {
+  CscMatrix l_pattern;  ///< values allocated, zero
+  CscMatrix u_pattern;
+  std::int64_t flops = 0;  ///< numeric flop estimate
+};
+
+[[nodiscard]] LuSymbolic symbolic_lu(const CscMatrix& a);
+
+/// Numeric Gilbert-Peierls factorization into the symbolic patterns.
+/// Throws numerical_error on a zero pivot. L has a unit diagonal (stored).
+class LuFactor {
+ public:
+  explicit LuFactor(const CscMatrix& a);  // symbolic phase
+  void factorize(const CscMatrix& a);     // numeric phase (reusable)
+  /// Solve A x = b in place.
+  void solve(std::span<value_t> bx) const;
+  [[nodiscard]] const CscMatrix& lower() const { return l_; }
+  [[nodiscard]] const CscMatrix& upper() const { return u_; }
+  [[nodiscard]] double flops() const { return static_cast<double>(flops_); }
+
+ private:
+  CscMatrix l_;  // pattern from symbolic, values from numeric
+  CscMatrix u_;
+  std::int64_t flops_ = 0;
+  bool factorized_ = false;
+};
+
+}  // namespace sympiler::lu

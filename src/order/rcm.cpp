@@ -1,0 +1,175 @@
+#include "order/rcm.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "sparse/ops.h"
+
+namespace sympiler::order {
+
+namespace {
+
+/// Adjacency of the symmetric pattern (both triangles, no diagonal).
+struct Adjacency {
+  std::vector<index_t> ptr;
+  std::vector<index_t> adj;
+  [[nodiscard]] index_t degree(index_t v) const { return ptr[v + 1] - ptr[v]; }
+};
+
+Adjacency build_adjacency(const CscMatrix& a_lower) {
+  const index_t n = a_lower.cols();
+  Adjacency g;
+  g.ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = a_lower.col_begin(j); p < a_lower.col_end(j); ++p) {
+      const index_t i = a_lower.rowind[p];
+      if (i == j) continue;
+      ++g.ptr[i + 1];
+      ++g.ptr[j + 1];
+    }
+  }
+  for (index_t v = 0; v < n; ++v) g.ptr[v + 1] += g.ptr[v];
+  g.adj.resize(static_cast<std::size_t>(g.ptr[n]));
+  std::vector<index_t> next(g.ptr.begin(), g.ptr.end() - 1);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = a_lower.col_begin(j); p < a_lower.col_end(j); ++p) {
+      const index_t i = a_lower.rowind[p];
+      if (i == j) continue;
+      g.adj[next[i]++] = j;
+      g.adj[next[j]++] = i;
+    }
+  }
+  return g;
+}
+
+/// BFS computing levels; returns the last-level vertex of minimum degree
+/// (one pseudo-peripheral sweep) and the visit count.
+index_t bfs_far_vertex(const Adjacency& g, index_t start,
+                       std::vector<index_t>& level, index_t stamp) {
+  std::queue<index_t> q;
+  q.push(start);
+  level[start] = stamp;
+  index_t last = start;
+  while (!q.empty()) {
+    const index_t v = q.front();
+    q.pop();
+    last = v;
+    for (index_t p = g.ptr[v]; p < g.ptr[v + 1]; ++p) {
+      const index_t w = g.adj[p];
+      if (level[w] != stamp) {
+        level[w] = stamp;
+        q.push(w);
+      }
+    }
+  }
+  return last;
+}
+
+}  // namespace
+
+std::vector<index_t> rcm(const CscMatrix& a_lower) {
+  const index_t n = a_lower.cols();
+  const Adjacency g = build_adjacency(a_lower);
+  std::vector<index_t> order;  // Cuthill-McKee order (reversed at the end)
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> placed(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> level(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> neighbors;
+
+  for (index_t seed = 0; seed < n; ++seed) {
+    if (placed[seed]) continue;
+    // Two BFS sweeps to approximate a peripheral start vertex.
+    index_t start = bfs_far_vertex(g, seed, level, 2 * seed);
+    start = bfs_far_vertex(g, start, level, 2 * seed + 1);
+    // Standard CM: BFS, neighbors appended in increasing-degree order.
+    std::size_t head = order.size();
+    order.push_back(start);
+    placed[start] = 1;
+    while (head < order.size()) {
+      const index_t v = order[head++];
+      neighbors.clear();
+      for (index_t p = g.ptr[v]; p < g.ptr[v + 1]; ++p) {
+        const index_t w = g.adj[p];
+        if (!placed[w]) {
+          placed[w] = 1;
+          neighbors.push_back(w);
+        }
+      }
+      std::sort(neighbors.begin(), neighbors.end(),
+                [&](index_t a, index_t b) {
+                  return g.degree(a) < g.degree(b);
+                });
+      order.insert(order.end(), neighbors.begin(), neighbors.end());
+    }
+  }
+  // order[k] = old vertex placed k-th; reverse and convert to perm form.
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k) perm[order[k]] = n - 1 - k;
+  return perm;
+}
+
+std::vector<index_t> minimum_degree(const CscMatrix& a_lower) {
+  const index_t n = a_lower.cols();
+  // Straightforward minimum-degree on a growing elimination graph with
+  // lazily cleaned adjacency sets. Suitable up to mid-size problems;
+  // quadratic worst cases are avoided by the bucket structure.
+  std::vector<std::vector<index_t>> adj(static_cast<std::size_t>(n));
+  {
+    const Adjacency g = build_adjacency(a_lower);
+    for (index_t v = 0; v < n; ++v)
+      adj[v].assign(g.adj.begin() + g.ptr[v], g.adj.begin() + g.ptr[v + 1]);
+  }
+  std::vector<char> eliminated(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> degree(static_cast<std::size_t>(n), 0);
+  // Degree buckets: bucket[d] = vertices with current (stale-allowed) degree d.
+  std::vector<std::vector<index_t>> bucket(static_cast<std::size_t>(n) + 1);
+  for (index_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<index_t>(adj[v].size());
+    bucket[degree[v]].push_back(v);
+  }
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::vector<char> mark(static_cast<std::size_t>(n), 0);
+  index_t next_num = 0;
+  index_t d = 0;
+  while (next_num < n) {
+    while (d <= n && bucket[d].empty()) ++d;
+    if (d > n) break;
+    const index_t v = bucket[d].back();
+    bucket[d].pop_back();
+    if (eliminated[v]) continue;
+    if (degree[v] != d) continue;  // stale bucket entry
+    // Eliminate v: its live neighbors become a clique.
+    eliminated[v] = 1;
+    perm[v] = next_num++;
+    // Collect live neighborhood.
+    std::vector<index_t> live;
+    for (const index_t w : adj[v])
+      if (!eliminated[w] && !mark[w]) {
+        mark[w] = 1;
+        live.push_back(w);
+      }
+    for (const index_t w : live) mark[w] = 0;
+    // Update each live neighbor: drop dead vertices, add clique edges.
+    for (const index_t w : live) {
+      auto& aw = adj[w];
+      aw.erase(std::remove_if(aw.begin(), aw.end(),
+                              [&](index_t u) { return eliminated[u]; }),
+               aw.end());
+      for (const index_t u : aw) mark[u] = 1;
+      mark[w] = 1;
+      for (const index_t u : live)
+        if (!mark[u]) aw.push_back(u);
+      for (const index_t u : aw) mark[u] = 0;
+      mark[w] = 0;
+      const auto nd = static_cast<index_t>(aw.size());
+      if (nd != degree[w]) {
+        degree[w] = nd;
+        bucket[nd].push_back(w);
+        d = std::min(d, nd);  // may need to revisit a lower bucket
+      }
+    }
+  }
+  return perm;
+}
+
+}  // namespace sympiler::order

@@ -1,0 +1,24 @@
+// Fill-reducing orderings. The paper's library baselines run on top of
+// fill-reducing permutations (AMD in Eigen/CHOLMOD); offline we provide
+// reverse Cuthill-McKee plus the generators' built-in nested-dissection
+// numbering, and benchmark the choice in bench/ablation_ordering.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.h"
+#include "util/common.h"
+
+namespace sympiler::order {
+
+/// Reverse Cuthill-McKee ordering of a symmetric matrix stored lower.
+/// Returns perm with new_index = perm[old_index]. Each connected component
+/// is started from a pseudo-peripheral vertex.
+[[nodiscard]] std::vector<index_t> rcm(const CscMatrix& a_lower);
+
+/// Minimum-degree ordering (classic quotient-graph-free variant: repeated
+/// minimum-degree vertex elimination on an explicit adjacency structure
+/// with degree buckets). Intended for the moderate-size suite problems.
+[[nodiscard]] std::vector<index_t> minimum_degree(const CscMatrix& a_lower);
+
+}  // namespace sympiler::order

@@ -1,0 +1,147 @@
+#include "parallel/levelset.h"
+
+#include <algorithm>
+
+#include "blas/kernels.h"
+#include "solvers/supernodal.h"
+
+namespace sympiler::parallel {
+
+namespace {
+
+LevelSchedule bucket_by_level(std::span<const index_t> level) {
+  LevelSchedule s;
+  const auto count = static_cast<index_t>(level.size());
+  index_t nlevels = 0;
+  for (const index_t l : level) nlevels = std::max(nlevels, l + 1);
+  s.level_ptr.assign(static_cast<std::size_t>(nlevels) + 1, 0);
+  for (const index_t l : level) ++s.level_ptr[l + 1];
+  for (index_t l = 0; l < nlevels; ++l) s.level_ptr[l + 1] += s.level_ptr[l];
+  s.items.resize(static_cast<std::size_t>(count));
+  std::vector<index_t> next(s.level_ptr.begin(), s.level_ptr.end() - 1);
+  for (index_t i = 0; i < count; ++i) s.items[next[level[i]]++] = i;
+  return s;
+}
+
+}  // namespace
+
+LevelSchedule level_schedule_columns(const CscMatrix& l) {
+  const index_t n = l.cols();
+  std::vector<index_t> level(static_cast<std::size_t>(n), 0);
+  // Edge j -> i for every off-diagonal L(i,j); a forward sweep sees j
+  // before i because i > j in a lower-triangular matrix.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t p = l.col_begin(j) + 1; p < l.col_end(j); ++p) {
+      const index_t i = l.rowind[p];
+      level[i] = std::max(level[i], level[j] + 1);
+    }
+  return bucket_by_level(level);
+}
+
+LevelSchedule level_schedule_supernodes(const SupernodePartition& sn,
+                                        std::span<const index_t> parent) {
+  const std::vector<index_t> sparent = supernode_etree(sn, parent);
+  // A supernode may also be updated by non-child descendants, but every
+  // updating descendant is a descendant in the supernodal etree, so etree
+  // levels give a safe schedule.
+  std::vector<index_t> level(sparent.size(), 0);
+  for (index_t s = 0; s < static_cast<index_t>(sparent.size()); ++s)
+    if (sparent[s] != -1) level[sparent[s]] =
+        std::max(level[sparent[s]], level[s] + 1);
+  return bucket_by_level(level);
+}
+
+void parallel_trisolve(const CscMatrix& l, const LevelSchedule& schedule,
+                       std::span<value_t> x) {
+  const index_t* Li = l.rowind.data();
+  const value_t* Lx = l.values.data();
+  value_t* xp = x.data();
+  // One parallel region for the whole solve; each level is a static
+  // omp-for whose implicit barrier realizes the wavefront dependence.
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp parallel
+#endif
+  for (index_t lev = 0; lev < schedule.levels(); ++lev) {
+    const index_t lo = schedule.level_ptr[lev];
+    const index_t hi = schedule.level_ptr[lev + 1];
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (index_t t = lo; t < hi; ++t) {
+      const index_t j = schedule.items[t];
+      const index_t p0 = l.col_begin(j);
+      const value_t xj = xp[j] / Lx[p0];
+      xp[j] = xj;
+      for (index_t p = p0 + 1; p < l.col_end(j); ++p) {
+        // Two same-level columns can update the same later row; atomics
+        // make the concurrent -= safe.
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp atomic
+#endif
+        xp[Li[p]] -= Lx[p] * xj;
+      }
+    }
+  }
+}
+
+void parallel_cholesky(const core::CholeskySets& sets,
+                       const LevelSchedule& schedule,
+                       const CscMatrix& a_lower, std::span<value_t> panels) {
+  const solvers::SupernodalLayout& layout = sets.layout;
+  scatter_into_panels(layout, a_lower, panels);
+  index_t max_m = 0, max_w = 0;
+  for (index_t s = 0; s < layout.nsuper(); ++s) {
+    max_m = std::max(max_m, layout.nrows(s));
+    max_w = std::max(max_w, layout.width(s));
+  }
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp parallel
+#endif
+  {
+    // Per-thread scratch (gemm buffer + scatter map), allocated once.
+    std::vector<value_t> work(static_cast<std::size_t>(max_m) * max_w);
+    std::vector<index_t> map(static_cast<std::size_t>(layout.n));
+    for (index_t lev = 0; lev < schedule.levels(); ++lev) {
+      const index_t lo = schedule.level_ptr[lev];
+      const index_t hi = schedule.level_ptr[lev + 1];
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp for schedule(dynamic, 4)
+#endif
+      for (index_t t = lo; t < hi; ++t) {
+        const index_t s = schedule.items[t];
+        const index_t c1 = layout.sn.start[s];
+        const index_t w = layout.width(s);
+        const index_t m = layout.nrows(s);
+        const index_t* rows = layout.srows.data() + layout.srow_ptr[s];
+        value_t* panel = panels.data() + layout.panel_ptr[s];
+        for (index_t r = 0; r < m; ++r) map[rows[r]] = r;
+        for (index_t u = sets.updates.ptr[s]; u < sets.updates.ptr[s + 1];
+             ++u) {
+          const solvers::UpdateRef ref = sets.updates.refs[u];
+          const index_t* drows = layout.srows.data() + layout.srow_ptr[ref.d];
+          const index_t dm = layout.nrows(ref.d);
+          const index_t dw = layout.width(ref.d);
+          const value_t* dpanel = panels.data() + layout.panel_ptr[ref.d];
+          const index_t mu = dm - ref.p1;
+          const index_t nu = ref.p2 - ref.p1;
+          std::fill(work.begin(),
+                    work.begin() + static_cast<std::int64_t>(mu) * nu, 0.0);
+          blas::gemm_nt_minus(mu, nu, dw, dpanel + ref.p1, dm,
+                              dpanel + ref.p1, dm, work.data(), mu);
+          for (index_t cj = 0; cj < nu; ++cj) {
+            value_t* dst =
+                panel + static_cast<std::int64_t>(drows[ref.p1 + cj] - c1) * m;
+            const value_t* src = work.data() + static_cast<std::int64_t>(cj) * mu;
+            for (index_t r = cj; r < mu; ++r)
+              dst[map[drows[ref.p1 + r]]] += src[r];
+          }
+        }
+        blas::potrf_lower(w, panel, m);
+        if (m > w)
+          blas::trsm_right_lower_trans(m - w, w, panel, m, panel + w, m);
+      }
+    }
+  }
+}
+
+}  // namespace sympiler::parallel

@@ -1,0 +1,50 @@
+// Level-set (wavefront) parallel executors — the paper's stated extension
+// direction ("the transformations ... should extend to improve performance
+// on shared and distributed memory systems"; realized by the authors'
+// ParSy follow-on). The symbolic inspector computes one more inspection
+// set: a level schedule of the dependence structure; columns/supernodes
+// within a level are independent and run in parallel (OpenMP when built
+// with SYMPILER_HAS_OPENMP, sequentially otherwise).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/inspector.h"
+#include "sparse/csc.h"
+#include "util/common.h"
+
+namespace sympiler::parallel {
+
+/// Level schedule: levels partition [0, count) items such that an item's
+/// dependencies all live in strictly earlier levels.
+struct LevelSchedule {
+  std::vector<index_t> level_ptr;  ///< size nlevels + 1
+  std::vector<index_t> items;      ///< permutation of items, bucketed
+  [[nodiscard]] index_t levels() const {
+    return static_cast<index_t>(level_ptr.size()) - 1;
+  }
+};
+
+/// Levels of the column dependence graph DG_L (column j depends on every
+/// column k with L(j,k) != 0).
+[[nodiscard]] LevelSchedule level_schedule_columns(const CscMatrix& l);
+
+/// Levels of the supernodal elimination forest.
+[[nodiscard]] LevelSchedule level_schedule_supernodes(
+    const SupernodePartition& sn, std::span<const index_t> parent);
+
+/// Parallel full forward solve L x = b using a precomputed level schedule.
+void parallel_trisolve(const CscMatrix& l, const LevelSchedule& schedule,
+                       std::span<value_t> x);
+
+/// Parallel supernodal left-looking Cholesky using the static inspection
+/// sets plus a supernode level schedule. Writes the factor into `panels`
+/// (layout in sets.layout). Each level's supernodes factor concurrently;
+/// left-looking updates only read descendants, which live in earlier
+/// levels.
+void parallel_cholesky(const core::CholeskySets& sets,
+                       const LevelSchedule& schedule,
+                       const CscMatrix& a_lower, std::span<value_t> panels);
+
+}  // namespace sympiler::parallel

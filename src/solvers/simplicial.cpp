@@ -1,0 +1,67 @@
+#include "solvers/simplicial.h"
+
+#include <cmath>
+
+#include "solvers/trisolve.h"
+
+namespace sympiler::solvers {
+
+SimplicialCholesky::SimplicialCholesky(const CscMatrix& a_lower)
+    : sym_(symbolic_cholesky(a_lower)) {
+  l_ = sym_.l_pattern;  // copy pattern; values stay zero until factorize()
+}
+
+void SimplicialCholesky::factorize(const CscMatrix& a_lower) {
+  const index_t n = l_.cols();
+  SYMPILER_CHECK(a_lower.cols() == n, "factorize: pattern mismatch");
+  // Coupled behaviour: the row patterns are recomputed per factorization.
+  // ERreach's constructor computes transpose(A) — the same transpose the
+  // paper observes Eigen/CHOLMOD performing in their numeric phase.
+  ERreach er(a_lower, sym_.parent);
+
+  std::vector<value_t> f(static_cast<std::size_t>(n), 0.0);
+  // next[k]: position in column k of the next unconsumed off-diag row.
+  std::vector<index_t> next(static_cast<std::size_t>(n), 0);
+
+  for (index_t j = 0; j < n; ++j) {
+    // Scatter A(j:n, j).
+    for (index_t p = a_lower.col_begin(j); p < a_lower.col_end(j); ++p) {
+      const index_t i = a_lower.rowind[p];
+      if (i >= j) f[i] = a_lower.values[p];
+    }
+    // Update phase (paper Fig 4 lines 4-6): only the columns in the row
+    // pattern of row j contribute.
+    for (const index_t k : er.row_pattern(j)) {
+      const index_t pj = next[k];  // L(j,k) lives here (rows consumed in order)
+      const value_t lkj = l_.values[pj];
+      for (index_t p = pj; p < l_.col_end(k); ++p)
+        f[l_.rowind[p]] -= l_.values[p] * lkj;
+      next[k] = pj + 1;
+    }
+    // Column factorization (paper Fig 4 lines 7-10).
+    const value_t d = f[j];
+    if (!(d > 0.0))
+      throw numerical_error("simplicial cholesky: non-positive pivot at " +
+                            std::to_string(j));
+    const value_t ljj = std::sqrt(d);
+    const index_t pdiag = l_.col_begin(j);
+    l_.values[pdiag] = ljj;
+    f[j] = 0.0;
+    const value_t inv = 1.0 / ljj;
+    for (index_t p = pdiag + 1; p < l_.col_end(j); ++p) {
+      const index_t i = l_.rowind[p];
+      l_.values[p] = f[i] * inv;
+      f[i] = 0.0;
+    }
+    next[j] = pdiag + 1;
+  }
+  factorized_ = true;
+}
+
+void SimplicialCholesky::solve(std::span<value_t> bx) const {
+  SYMPILER_CHECK(factorized_, "solve() before factorize()");
+  trisolve_naive(l_, bx);
+  trisolve_transpose(l_, bx);
+}
+
+}  // namespace sympiler::solvers

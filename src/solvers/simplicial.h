@@ -1,0 +1,43 @@
+// Eigen-like baseline: non-supernodal left-looking Cholesky with the
+// symbolic work the paper attributes to the libraries' numeric phase left
+// *inside* the numeric phase — the transpose of A and the per-column
+// ereach row-pattern computation (paper section 4.2: "none of the
+// libraries fully decouple the symbolic information from the numerical
+// code").
+//
+// The constructor plays the role of Eigen's analyzePattern(): it computes
+// the etree and allocates the factor, and is reusable across values.
+#pragma once
+
+#include <span>
+
+#include "graph/symbolic.h"
+#include "sparse/csc.h"
+#include "util/common.h"
+
+namespace sympiler::solvers {
+
+class SimplicialCholesky {
+ public:
+  /// Symbolic set-up (etree + factor allocation), reusable across numeric
+  /// factorizations with the same pattern.
+  explicit SimplicialCholesky(const CscMatrix& a_lower);
+
+  /// Numeric left-looking factorization. Recomputes A^T and the row
+  /// patterns internally (the coupled-library behaviour).
+  void factorize(const CscMatrix& a_lower);
+
+  /// Solve A x = b in place (requires factorize()).
+  void solve(std::span<value_t> bx) const;
+
+  [[nodiscard]] const CscMatrix& factor() const { return l_; }
+  [[nodiscard]] const SymbolicFactor& symbolic() const { return sym_; }
+  [[nodiscard]] double flops() const { return sym_.flops; }
+
+ private:
+  SymbolicFactor sym_;
+  CscMatrix l_;  // pattern fixed by the constructor, values by factorize()
+  bool factorized_ = false;
+};
+
+}  // namespace sympiler::solvers

@@ -1,0 +1,119 @@
+// Supernodal storage layout and the CHOLMOD-like left-looking supernodal
+// Cholesky baseline.
+//
+// The layout (rows lists + dense panels) is shared with the Sympiler
+// executors in core/: the *data structure* is the same, what differs is
+// how much of the schedule is precomputed symbolically (CHOLMOD discovers
+// descendant supernodes with dynamic linked lists during the numeric
+// phase; Sympiler's inspector emits the full static update schedule).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/supernodes.h"
+#include "graph/symbolic.h"
+#include "sparse/csc.h"
+#include "util/common.h"
+
+namespace sympiler::solvers {
+
+/// Symbolic supernodal layout of the factor L.
+struct SupernodalLayout {
+  index_t n = 0;
+  SupernodePartition sn;
+  std::vector<index_t> parent;    ///< column elimination tree
+  std::vector<index_t> colcount;  ///< per-column nnz of L
+  /// Row indices of each supernode panel: srows[srow_ptr[s]..srow_ptr[s+1])
+  /// are the rows of supernode s; the first width(s) of them are the
+  /// supernode's own columns (dense triangular block).
+  std::vector<index_t> srow_ptr;
+  std::vector<index_t> srows;
+  /// Dense panel of supernode s occupies values[panel_ptr[s] ..
+  /// panel_ptr[s+1]) in column-major order with leading dim nrows(s).
+  std::vector<std::int64_t> panel_ptr;
+  double flops = 0.0;  ///< factorization flop estimate (sum colcount^2)
+
+  [[nodiscard]] index_t nsuper() const { return sn.count(); }
+  [[nodiscard]] index_t width(index_t s) const { return sn.width(s); }
+  [[nodiscard]] index_t nrows(index_t s) const {
+    return srow_ptr[s + 1] - srow_ptr[s];
+  }
+  [[nodiscard]] std::int64_t total_values() const { return panel_ptr.back(); }
+
+  /// Build from a symbolic factorization and a (fundamental) partition.
+  /// The partition must satisfy the supernodal invariant w.r.t. the
+  /// pattern in `sym` unless `allow_relaxed`; relaxed supernodes take the
+  /// union pattern (pattern of the first column).
+  static SupernodalLayout build(const SymbolicFactor& sym,
+                                SupernodePartition partition);
+};
+
+/// One update: descendant supernode d contributes rows [p1, p2) of its row
+/// list (indices relative to srow_ptr[d]) to the target's columns, and rows
+/// [p1, end) to the target's rows.
+struct UpdateRef {
+  index_t d = 0;
+  index_t p1 = 0;
+  index_t p2 = 0;
+};
+
+/// Static per-supernode update schedule (what Sympiler's symbolic
+/// inspector precomputes; CHOLMOD instead discovers this dynamically).
+struct UpdateLists {
+  std::vector<index_t> ptr;     ///< nsuper + 1
+  std::vector<UpdateRef> refs;  ///< updates targeting supernode s in
+                                ///< refs[ptr[s]..ptr[s+1])
+};
+[[nodiscard]] UpdateLists compute_update_lists(const SupernodalLayout& layout);
+
+/// Scatter the lower triangle of A into zeroed panels.
+void scatter_into_panels(const SupernodalLayout& layout,
+                         const CscMatrix& a_lower,
+                         std::span<value_t> panels);
+
+/// Convert factored panels to a CSC lower-triangular factor.
+[[nodiscard]] CscMatrix panels_to_csc(const SupernodalLayout& layout,
+                                      std::span<const value_t> panels);
+
+/// Supernodal forward solve L y = b over panels; x: b in, y out.
+void panel_forward_solve(const SupernodalLayout& layout,
+                         std::span<const value_t> panels,
+                         std::span<value_t> x);
+
+/// Supernodal backward solve L^T x = y over panels.
+void panel_backward_solve(const SupernodalLayout& layout,
+                          std::span<const value_t> panels,
+                          std::span<value_t> x);
+
+/// CHOLMOD-like supernodal left-looking Cholesky.
+///
+/// The symbolic phase (constructor) is reusable across factorizations of
+/// matrices with the same pattern — mirroring cholmod_analyze — but the
+/// numeric phase retains the symbolic-flavoured work the paper calls out:
+/// the transpose of A and the dynamic descendant-list traversal.
+class SupernodalCholesky {
+ public:
+  explicit SupernodalCholesky(const CscMatrix& a_lower,
+                              SupernodeOptions opt = {});
+
+  /// Numeric factorization; pattern of a_lower must match the analyzed one.
+  void factorize(const CscMatrix& a_lower);
+
+  /// Solve A x = b in place (requires factorize() first).
+  void solve(std::span<value_t> bx) const;
+
+  [[nodiscard]] const SupernodalLayout& layout() const { return layout_; }
+  [[nodiscard]] std::span<const value_t> panels() const { return panels_; }
+  [[nodiscard]] CscMatrix factor_csc() const {
+    return panels_to_csc(layout_, panels_);
+  }
+  [[nodiscard]] double flops() const { return layout_.flops; }
+
+ private:
+  SupernodalLayout layout_;
+  std::vector<value_t> panels_;
+  bool factorized_ = false;
+};
+
+}  // namespace sympiler::solvers

@@ -1,0 +1,27 @@
+#include "sparse/dense.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/csc.h"
+
+namespace sympiler {
+
+DenseMatrix DenseMatrix::from_csc(const CscMatrix& a) {
+  DenseMatrix d(a.rows(), a.cols());
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t p = a.col_begin(j); p < a.col_end(j); ++p)
+      d(a.rowind[p], j) = a.values[p];
+  return d;
+}
+
+value_t DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
+  SYMPILER_CHECK(nrows_ == other.nrows_ && ncols_ == other.ncols_,
+                 "max_abs_diff: shape mismatch");
+  value_t m = 0.0;
+  for (std::size_t k = 0; k < data_.size(); ++k)
+    m = std::max(m, std::abs(data_[k] - other.data_[k]));
+  return m;
+}
+
+}  // namespace sympiler

@@ -1,0 +1,58 @@
+// Column-major dense matrix used for reference algorithms in tests and for
+// the temporary supernode panels of the blocked kernels.
+#pragma once
+
+#include <vector>
+
+#include "util/common.h"
+
+namespace sympiler {
+
+class CscMatrix;
+
+/// Column-major dense matrix (leading dimension == rows()).
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t nrows, index_t ncols)
+      : data_(static_cast<std::size_t>(nrows) * static_cast<std::size_t>(ncols),
+              0.0),
+        nrows_(nrows),
+        ncols_(ncols) {}
+
+  [[nodiscard]] index_t rows() const { return nrows_; }
+  [[nodiscard]] index_t cols() const { return ncols_; }
+
+  [[nodiscard]] value_t& operator()(index_t i, index_t j) {
+    return data_[static_cast<std::size_t>(j) * nrows_ + i];
+  }
+  [[nodiscard]] value_t operator()(index_t i, index_t j) const {
+    return data_[static_cast<std::size_t>(j) * nrows_ + i];
+  }
+
+  [[nodiscard]] value_t* data() { return data_.data(); }
+  [[nodiscard]] const value_t* data() const { return data_.data(); }
+
+  /// Pointer to the top of column j.
+  [[nodiscard]] value_t* col(index_t j) {
+    return data_.data() + static_cast<std::size_t>(j) * nrows_;
+  }
+  [[nodiscard]] const value_t* col(index_t j) const {
+    return data_.data() + static_cast<std::size_t>(j) * nrows_;
+  }
+
+  void fill(value_t v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Densify a CSC matrix.
+  static DenseMatrix from_csc(const CscMatrix& a);
+
+  /// Max-norm of (this - other); shapes must match.
+  [[nodiscard]] value_t max_abs_diff(const DenseMatrix& other) const;
+
+ private:
+  std::vector<value_t> data_;
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+};
+
+}  // namespace sympiler

@@ -1,0 +1,94 @@
+#include "sparse/io_mm.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sparse/ops.h"
+
+namespace sympiler {
+
+namespace {
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+CscMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  SYMPILER_CHECK(static_cast<bool>(std::getline(in, line)),
+                 "matrix market: empty stream");
+  std::istringstream header(lowercase(line));
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  SYMPILER_CHECK(banner == "%%matrixmarket", "matrix market: bad banner");
+  SYMPILER_CHECK(object == "matrix", "matrix market: object must be matrix");
+  SYMPILER_CHECK(format == "coordinate",
+                 "matrix market: only coordinate format supported");
+  SYMPILER_CHECK(field == "real" || field == "integer" || field == "pattern",
+                 "matrix market: unsupported field type: " + field);
+  SYMPILER_CHECK(symmetry == "general" || symmetry == "symmetric",
+                 "matrix market: unsupported symmetry: " + symmetry);
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  long long nrows = -1, ncols = -1, nentries = -1;
+  dims >> nrows >> ncols >> nentries;
+  SYMPILER_CHECK(nrows >= 0 && ncols >= 0 && nentries >= 0,
+                 "matrix market: bad size line");
+  if (symmetric)
+    SYMPILER_CHECK(nrows == ncols, "matrix market: symmetric must be square");
+
+  std::vector<Triplet> trip;
+  trip.reserve(static_cast<std::size_t>(nentries));
+  for (long long k = 0; k < nentries; ++k) {
+    long long i = 0, j = 0;
+    double v = 1.0;
+    in >> i >> j;
+    if (!pattern) in >> v;
+    SYMPILER_CHECK(static_cast<bool>(in), "matrix market: truncated entries");
+    SYMPILER_CHECK(i >= 1 && i <= nrows && j >= 1 && j <= ncols,
+                   "matrix market: entry out of range");
+    index_t r = static_cast<index_t>(i - 1);
+    index_t c = static_cast<index_t>(j - 1);
+    if (symmetric && r < c) std::swap(r, c);  // normalize to lower triangle
+    trip.push_back({r, c, v});
+  }
+  return CscMatrix::from_triplets(static_cast<index_t>(nrows),
+                                  static_cast<index_t>(ncols), trip);
+}
+
+CscMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  SYMPILER_CHECK(in.good(), "matrix market: cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CscMatrix& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows() << " " << a.cols() << " " << a.nnz() << "\n";
+  out.precision(17);
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t p = a.col_begin(j); p < a.col_end(j); ++p)
+      out << (a.rowind[p] + 1) << " " << (j + 1) << " " << a.values[p] << "\n";
+}
+
+void write_matrix_market_file(const std::string& path, const CscMatrix& a) {
+  std::ofstream out(path);
+  SYMPILER_CHECK(out.good(), "matrix market: cannot open " + path);
+  write_matrix_market(out, a);
+}
+
+}  // namespace sympiler

@@ -1,0 +1,26 @@
+// Matrix Market (.mtx) I/O. The paper's suite comes from the SuiteSparse
+// collection, which distributes matrices in this format; users with local
+// copies can run every benchmark on the original inputs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csc.h"
+
+namespace sympiler {
+
+/// Read a Matrix Market coordinate file. Supported qualifiers:
+/// `matrix coordinate real|integer|pattern general|symmetric`.
+/// Symmetric inputs are returned as their LOWER triangle (SuiteSparse
+/// symmetric .mtx files store the lower triangle already; entries given in
+/// the upper triangle are mirrored). Pattern matrices get value 1.0.
+/// Throws invalid_matrix_error on malformed input.
+[[nodiscard]] CscMatrix read_matrix_market(std::istream& in);
+[[nodiscard]] CscMatrix read_matrix_market_file(const std::string& path);
+
+/// Write a CSC matrix as `matrix coordinate real general` (1-based).
+void write_matrix_market(std::ostream& out, const CscMatrix& a);
+void write_matrix_market_file(const std::string& path, const CscMatrix& a);
+
+}  // namespace sympiler

@@ -1,0 +1,39 @@
+// Common scalar/index typedefs and small helpers shared by every module.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sympiler {
+
+/// Index type used for matrix dimensions and sparse index arrays.
+/// 32-bit indices cover every problem in the paper's suite (n <= 1e6,
+/// nnz(L) well below 2^31) and halve the symbolic memory traffic.
+using index_t = std::int32_t;
+
+/// Numerical value type. The paper's suite is double precision throughout.
+using value_t = double;
+
+/// Thrown on structurally invalid inputs (bad CSC, dimension mismatch, ...).
+class invalid_matrix_error : public std::runtime_error {
+ public:
+  explicit invalid_matrix_error(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown when a numerical method fails (non-SPD pivot, singular diagonal).
+class numerical_error : public std::runtime_error {
+ public:
+  explicit numerical_error(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+#define SYMPILER_CHECK(cond, msg)                      \
+  do {                                                 \
+    if (!(cond)) throw invalid_matrix_error(msg);      \
+  } while (0)
+
+}  // namespace sympiler

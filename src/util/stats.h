@@ -1,0 +1,44 @@
+// Small statistics helpers for benchmark reporting (paper reports medians
+// of 5 runs; we do the same).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace sympiler {
+
+/// Median of a sample (copies; samples are tiny).
+[[nodiscard]] inline double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const auto mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo = *std::max_element(v.begin(),
+                                      v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+[[nodiscard]] inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+/// Geometric mean; ignores non-positive entries (used for speedup summaries).
+[[nodiscard]] inline double geomean(const std::vector<double>& v) {
+  double log_sum = 0.0;
+  std::size_t count = 0;
+  for (double x : v) {
+    if (x > 0.0) {
+      log_sum += std::log(x);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(count));
+}
+
+}  // namespace sympiler

@@ -1,0 +1,26 @@
+// Monotonic wall-clock timing helpers used by benchmarks and examples.
+#pragma once
+
+#include <chrono>
+
+namespace sympiler {
+
+/// Simple RAII-free stopwatch over std::chrono::steady_clock.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sympiler

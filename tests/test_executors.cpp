@@ -1,0 +1,191 @@
+// Property tests for the Sympiler executors: every combination of
+// inspector-guided and low-level transformations must agree with the
+// library baselines on every generator regime.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/cholesky_executor.h"
+#include "core/inspector.h"
+#include "core/trisolve_executor.h"
+#include "gen/generators.h"
+#include "graph/reach.h"
+#include "solvers/simplicial.h"
+#include "solvers/trisolve.h"
+#include "sparse/ops.h"
+
+namespace sympiler {
+namespace {
+
+CscMatrix case_matrix(int c) {
+  switch (c) {
+    case 0: return gen::grid2d_laplacian(13, 13);
+    case 1: return gen::grid2d_laplacian(9, 40, gen::GridOrder::Natural);
+    case 2: return gen::grid3d_laplacian(6, 6, 6);
+    case 3: return gen::block_structural(8, 8, 3, 42);
+    case 4: return gen::random_spd(180, 2.5, 7);
+    case 5: return gen::banded_spd(100, 12, 21);
+    case 6: return gen::power_grid(250, 60, 5);
+    default: return gen::grid2d_laplacian(3, 3);
+  }
+}
+constexpr int kNumCases = 8;
+
+core::SympilerOptions make_options(bool vs, bool vi, bool low) {
+  core::SympilerOptions opt;
+  opt.vs_block = vs;
+  opt.vi_prune = vi;
+  opt.low_level = low;
+  opt.vsblock_min_avg_size = 0.0;
+  opt.vsblock_min_avg_width = 0.0;  // force VS-Block on when requested
+  return opt;
+}
+
+using ExecParam = std::tuple<int, int>;  // (case, option combo 0..7)
+
+class TriSolveExec : public ::testing::TestWithParam<ExecParam> {};
+
+TEST_P(TriSolveExec, MatchesNaiveSolve) {
+  const auto [c, combo] = GetParam();
+  const CscMatrix a = case_matrix(c);
+  solvers::SimplicialCholesky chol(a);
+  chol.factorize(a);
+  const CscMatrix& l = chol.factor();
+  const index_t n = l.cols();
+
+  const std::vector<value_t> b = gen::sparse_rhs(n, 1 + n / 50, 1234 + c);
+  const core::SympilerOptions opt =
+      make_options(combo & 1, combo & 2, combo & 4);
+  core::TriSolveExecutor exec(l, {}, opt);  // empty beta replaced below
+
+  // Re-inspect with the real beta.
+  std::vector<index_t> beta;
+  for (index_t i = 0; i < n; ++i)
+    if (b[i] != 0.0) beta.push_back(i);
+  core::TriSolveExecutor exec2(l, beta, opt);
+
+  std::vector<value_t> x(b), xref(b);
+  exec2.solve(x);
+  solvers::trisolve_naive(l, xref);
+  for (index_t i = 0; i < n; ++i)
+    ASSERT_NEAR(x[i], xref[i], 1e-11)
+        << "case " << c << " combo " << combo << " at " << i;
+  EXPECT_LT(residual_inf_norm(l, x, b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TriSolveExec,
+    ::testing::Combine(::testing::Range(0, kNumCases),
+                       ::testing::Range(0, 8)));
+
+class CholeskyExec : public ::testing::TestWithParam<ExecParam> {};
+
+TEST_P(CholeskyExec, MatchesSimplicialBaseline) {
+  const auto [c, combo] = GetParam();
+  const CscMatrix a = case_matrix(c);
+  const core::SympilerOptions opt =
+      make_options(combo & 1, combo & 2, combo & 4);
+
+  core::CholeskyExecutor exec(a, opt);
+  exec.factorize(a);
+  const CscMatrix l = exec.factor_csc();
+  l.validate();
+
+  solvers::SimplicialCholesky ref(a);
+  ref.factorize(a);
+  ASSERT_TRUE(l.same_pattern(ref.factor()))
+      << "case " << c << " combo " << combo;
+  for (index_t p = 0; p < l.nnz(); ++p)
+    ASSERT_NEAR(l.values[p], ref.factor().values[p], 1e-8)
+        << "case " << c << " combo " << combo << " at nz " << p;
+}
+
+TEST_P(CholeskyExec, SolveResidualSmall) {
+  const auto [c, combo] = GetParam();
+  const CscMatrix a = case_matrix(c);
+  const core::SympilerOptions opt =
+      make_options(combo & 1, combo & 2, combo & 4);
+  core::CholeskyExecutor exec(a, opt);
+  exec.factorize(a);
+  const std::vector<value_t> b = gen::dense_rhs(a.cols(), 5);
+  std::vector<value_t> x(b);
+  exec.solve(x);
+  EXPECT_LT(residual_inf_norm_symmetric_lower(a, x, b), 1e-8)
+      << "case " << c << " combo " << combo;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CholeskyExec,
+    ::testing::Combine(::testing::Range(0, kNumCases),
+                       ::testing::Range(0, 8)));
+
+TEST(CholeskyExecutor, VsBlockThresholdControlsPath) {
+  const CscMatrix a = gen::grid2d_laplacian(12, 12);
+  core::SympilerOptions opt;
+  opt.vsblock_min_avg_size = 1e9;  // unreachable threshold
+  core::CholeskyExecutor simplicial_path(a, opt);
+  EXPECT_FALSE(simplicial_path.vs_block_applied());
+  opt.vsblock_min_avg_size = 0.0;
+  opt.vsblock_min_avg_width = 0.0;
+  core::CholeskyExecutor supernodal_path(a, opt);
+  EXPECT_TRUE(supernodal_path.vs_block_applied());
+}
+
+TEST(CholeskyExecutor, RefactorizeReusesInspection) {
+  CscMatrix a = gen::block_structural(6, 6, 3, 9);
+  core::CholeskyExecutor exec(a, make_options(true, true, true));
+  exec.factorize(a);
+  const value_t before = exec.factor_csc().values[0];
+  for (auto& v : a.values) v *= 9.0;
+  exec.factorize(a);
+  EXPECT_NEAR(exec.factor_csc().values[0], 3.0 * before, 1e-10);
+}
+
+TEST(CholeskyExecutor, NonSpdThrows) {
+  std::vector<Triplet> trip = {{0, 0, 1.0}, {1, 0, 5.0}, {1, 1, 1.0}};
+  const CscMatrix a = CscMatrix::from_triplets(2, 2, trip);
+  core::CholeskyExecutor exec(a, make_options(true, true, true));
+  EXPECT_THROW(exec.factorize(a), numerical_error);
+  core::CholeskyExecutor simp(a, make_options(false, true, true));
+  EXPECT_THROW(simp.factorize(a), numerical_error);
+}
+
+TEST(TriSolveExecutor, SupernodePruneSetIsSuffixConsistent) {
+  // The supernode-level prune set must cover exactly the reach columns.
+  const CscMatrix a = gen::grid2d_laplacian(11, 11);
+  solvers::SimplicialCholesky chol(a);
+  chol.factorize(a);
+  const CscMatrix& l = chol.factor();
+  const std::vector<value_t> b = gen::sparse_rhs(l.cols(), 3, 17);
+  core::SympilerOptions opt;
+  opt.vsblock_min_avg_size = 0.0;
+  opt.vsblock_min_avg_width = 0.0;
+  const core::TriSolveSets sets = core::inspect_trisolve_dense_rhs(l, b, opt);
+
+  std::vector<char> covered(static_cast<std::size_t>(l.cols()), 0);
+  for (std::size_t k = 0; k < sets.sn_reach.size(); ++k) {
+    const index_t s = sets.sn_reach[k];
+    for (index_t j = sets.sn_first_col[k]; j < sets.blocks.start[s + 1]; ++j)
+      covered[j] = 1;
+  }
+  for (const index_t j : sets.reach)
+    EXPECT_TRUE(covered[j]) << "reach column " << j << " not covered";
+}
+
+TEST(TriSolveExecutor, FlopsMatchReachColumns) {
+  const CscMatrix a = gen::grid2d_laplacian(8, 8);
+  solvers::SimplicialCholesky chol(a);
+  chol.factorize(a);
+  const CscMatrix& l = chol.factor();
+  const std::vector<value_t> b = gen::sparse_rhs(l.cols(), 2, 3);
+  std::vector<index_t> beta;
+  for (index_t i = 0; i < l.cols(); ++i)
+    if (b[i] != 0.0) beta.push_back(i);
+  core::TriSolveExecutor exec(l, beta);
+  EXPECT_DOUBLE_EQ(exec.flops(),
+                   solvers::trisolve_flops(l, exec.sets().reach));
+  EXPECT_GT(exec.flops(), 0.0);
+}
+
+}  // namespace
+}  // namespace sympiler

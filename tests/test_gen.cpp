@@ -1,0 +1,175 @@
+// Tests for the matrix generators (the Table-2 substitutes): structural
+// validity, SPD-ness, the ordering modes, and the suite definitions.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/generators.h"
+#include "gen/suite.h"
+#include "graph/symbolic.h"
+#include "solvers/simplicial.h"
+#include "sparse/ops.h"
+
+namespace sympiler {
+namespace {
+
+void expect_valid_spd_lower(const CscMatrix& a) {
+  a.validate();
+  EXPECT_EQ(a.rows(), a.cols());
+  EXPECT_TRUE(a.is_lower_triangular());
+  // Diagonal present and positive in every column.
+  for (index_t j = 0; j < a.cols(); ++j) {
+    ASSERT_LT(a.col_begin(j), a.col_end(j)) << "empty column " << j;
+    EXPECT_EQ(a.rowind[a.col_begin(j)], j) << "missing diagonal " << j;
+    EXPECT_GT(a.values[a.col_begin(j)], 0.0);
+  }
+}
+
+TEST(Generators, Grid2dShapeAndStencil) {
+  const CscMatrix a = gen::grid2d_laplacian(7, 5);
+  expect_valid_spd_lower(a);
+  EXPECT_EQ(a.cols(), 35);
+  // 5-point stencil: nnz(lower) = n + horizontal + vertical edges.
+  EXPECT_EQ(a.nnz(), 35 + 6 * 5 + 7 * 4);
+}
+
+TEST(Generators, Grid2dNaturalVsNdSamePatternUpToPermutation) {
+  const CscMatrix nat = gen::grid2d_laplacian(6, 6, gen::GridOrder::Natural);
+  const CscMatrix nd =
+      gen::grid2d_laplacian(6, 6, gen::GridOrder::NestedDissection);
+  EXPECT_EQ(nat.nnz(), nd.nnz());
+  // Same multiset of column counts of the *graph* (degree sequence).
+  auto degrees = [](const CscMatrix& m) {
+    std::vector<index_t> deg(static_cast<std::size_t>(m.cols()), 0);
+    for (index_t j = 0; j < m.cols(); ++j)
+      for (index_t p = m.col_begin(j); p < m.col_end(j); ++p) {
+        if (m.rowind[p] == j) continue;
+        ++deg[j];
+        ++deg[m.rowind[p]];
+      }
+    std::sort(deg.begin(), deg.end());
+    return deg;
+  };
+  EXPECT_EQ(degrees(nat), degrees(nd));
+}
+
+TEST(Generators, NdReducesFillOnGrids) {
+  const CscMatrix nat = gen::grid2d_laplacian(24, 24, gen::GridOrder::Natural);
+  const CscMatrix nd =
+      gen::grid2d_laplacian(24, 24, gen::GridOrder::NestedDissection);
+  EXPECT_LT(symbolic_cholesky(nd).fill_nnz, symbolic_cholesky(nat).fill_nnz);
+}
+
+TEST(Generators, Grid3dShape) {
+  const CscMatrix a = gen::grid3d_laplacian(4, 5, 6);
+  expect_valid_spd_lower(a);
+  EXPECT_EQ(a.cols(), 120);
+}
+
+TEST(Generators, BlockStructuralHasDenseDofBlocks) {
+  const index_t dofs = 3;
+  const CscMatrix a = gen::block_structural(4, 4, dofs, 7);
+  expect_valid_spd_lower(a);
+  EXPECT_EQ(a.cols(), 4 * 4 * dofs);
+  // In-node lower blocks are fully dense: column of dof 0 of any node
+  // contains the node's other dofs.
+  for (index_t node = 0; node < 16; ++node) {
+    const index_t j = node * dofs;
+    std::set<index_t> rows;
+    for (index_t p = a.col_begin(j); p < a.col_end(j); ++p)
+      rows.insert(a.rowind[p]);
+    EXPECT_TRUE(rows.count(j + 1) && rows.count(j + 2))
+        << "node " << node << " lacks dense dof coupling";
+  }
+}
+
+TEST(Generators, GeneratorsAreDeterministic) {
+  const CscMatrix a1 = gen::random_spd(100, 3.0, 42);
+  const CscMatrix a2 = gen::random_spd(100, 3.0, 42);
+  EXPECT_TRUE(a1.equals(a2));
+  const CscMatrix b1 = gen::block_structural(5, 5, 2, 9);
+  const CscMatrix b2 = gen::block_structural(5, 5, 2, 9);
+  EXPECT_TRUE(b1.equals(b2));
+}
+
+TEST(Generators, SeedsChangeValuesNotValidity) {
+  const CscMatrix a1 = gen::random_spd(80, 2.0, 1);
+  const CscMatrix a2 = gen::random_spd(80, 2.0, 2);
+  EXPECT_FALSE(a1.equals(a2));
+  expect_valid_spd_lower(a1);
+  expect_valid_spd_lower(a2);
+}
+
+TEST(Generators, AllGeneratorsFactorize) {
+  // SPD by construction: Cholesky must succeed on every generator.
+  const std::vector<CscMatrix> mats = {
+      gen::grid2d_laplacian(9, 9),
+      gen::grid3d_laplacian(5, 5, 5),
+      gen::block_structural(6, 6, 3, 3),
+      gen::random_spd(150, 3.0, 4),
+      gen::banded_spd(100, 7, 5),
+      gen::power_grid(200, 50, 6),
+  };
+  for (const CscMatrix& a : mats) {
+    solvers::SimplicialCholesky chol(a);
+    EXPECT_NO_THROW(chol.factorize(a));
+    EXPECT_LT(llt_residual_inf_norm(chol.factor(), a), 1e-8);
+  }
+}
+
+TEST(Generators, PowerGridIsConnectedTree) {
+  const CscMatrix a = gen::power_grid(300, 0, 8);  // pure spanning tree
+  // Tree + diagonal: nnz = n + (n-1).
+  EXPECT_EQ(a.nnz(), 300 + 299);
+}
+
+TEST(Generators, RhsFromColumnMatchesPattern) {
+  const CscMatrix a = gen::grid2d_laplacian(8, 8);
+  const index_t j = 20;
+  const std::vector<value_t> b = gen::rhs_from_column(a, j, 3);
+  // Every stored row of column j must be a nonzero of b.
+  for (index_t p = a.col_begin(j); p < a.col_end(j); ++p)
+    EXPECT_NE(b[a.rowind[p]], 0.0);
+}
+
+TEST(Generators, SparseRhsCount) {
+  const std::vector<value_t> b = gen::sparse_rhs(1000, 5, 7);
+  index_t nnz = 0;
+  for (const value_t v : b) nnz += v != 0.0;
+  EXPECT_GE(nnz, 1);
+  EXPECT_LE(nnz, 5);  // collisions allowed, never more
+}
+
+TEST(Generators, InvalidArgumentsThrow) {
+  EXPECT_THROW(gen::grid2d_laplacian(0, 5), invalid_matrix_error);
+  EXPECT_THROW(gen::random_spd(0, 2.0, 1), invalid_matrix_error);
+  EXPECT_THROW(gen::power_grid(1, 0, 1), invalid_matrix_error);
+  EXPECT_THROW(gen::banded_spd(-1, 2, 1), invalid_matrix_error);
+}
+
+TEST(Suite, HasElevenProblemsInTable2Order) {
+  const auto& suite = gen::suite();
+  ASSERT_EQ(suite.size(), 11u);
+  for (std::size_t k = 0; k < suite.size(); ++k)
+    EXPECT_EQ(suite[k].id, static_cast<int>(k) + 1);
+  EXPECT_EQ(suite.front().paper_name, "cbuckle");
+  EXPECT_EQ(suite.back().paper_name, "tmt_sym");
+}
+
+TEST(Suite, LookupByIdAndBounds) {
+  EXPECT_EQ(gen::suite_problem(5).paper_name, "Dubcova2");
+  EXPECT_THROW({ (void)gen::suite_problem(0); }, invalid_matrix_error);
+  EXPECT_THROW({ (void)gen::suite_problem(12); }, invalid_matrix_error);
+}
+
+TEST(Suite, SmallProblemsGenerateValidSpd) {
+  // Generate the three smallest problems end-to-end (the rest are
+  // exercised by the benches; this keeps unit-test time bounded).
+  for (const int id : {1, 2, 8}) {
+    const CscMatrix a = gen::suite_problem(id).make();
+    expect_valid_spd_lower(a);
+  }
+}
+
+}  // namespace
+}  // namespace sympiler

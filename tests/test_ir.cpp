@@ -1,0 +1,190 @@
+// Unit tests for the IR: expression building, printing, folding,
+// substitution, and the transformation passes on the trisolve kernel AST.
+#include <gtest/gtest.h>
+
+#include "core/ir.h"
+#include "core/kernels.h"
+#include "core/passes.h"
+
+namespace sympiler::core {
+namespace {
+
+TEST(Ir, ExpressionPrinting) {
+  const ExprPtr e = add(load("Lp", var("j")), icon(1));
+  EXPECT_EQ(to_c(e), "(Lp[j] + 1)");
+  const ExprPtr m = mul(load("Lx", var("p")), load("x", var("j")));
+  EXPECT_EQ(to_c(m), "(Lx[p] * x[j])");
+}
+
+TEST(Ir, StatementPrinting) {
+  LoopInfo li;
+  li.var = "i";
+  li.lo = icon(0);
+  li.hi = icon(4);
+  const StmtPtr s = for_loop(li, {store("x", var("i"), fcon(0.0))});
+  const std::string c = to_c(s);
+  EXPECT_NE(c.find("for (int i = 0; i < 4; ++i)"), std::string::npos);
+  EXPECT_NE(c.find("x[i] = 0;"), std::string::npos);
+}
+
+TEST(Ir, VectorizeAnnotationEmitsPragma) {
+  LoopInfo li;
+  li.var = "i";
+  li.lo = icon(0);
+  li.hi = icon(4);
+  li.vectorize = true;
+  const StmtPtr s = for_loop(li, {store("x", var("i"), fcon(0.0))});
+  EXPECT_NE(to_c(s).find("#pragma omp simd"), std::string::npos);
+}
+
+TEST(Ir, FoldBinaryConstants) {
+  Bindings b;
+  EXPECT_EQ(eval_int(fold(add(icon(2), icon(3)), b)), 5);
+  EXPECT_EQ(eval_int(fold(mul(sub(icon(7), icon(2)), icon(4)), b)), 20);
+}
+
+TEST(Ir, FoldThroughBoundArray) {
+  const std::vector<index_t> lp = {0, 3, 7};
+  Bindings b;
+  b.bind("Lp", lp);
+  EXPECT_EQ(eval_int(fold(load("Lp", icon(1)), b)), 3);
+  EXPECT_EQ(eval_int(fold(add(load("Lp", icon(2)), icon(1)), b)), 8);
+  // Unbound array stays a load (but with a folded index).
+  const ExprPtr e = fold(load("Lx", add(icon(1), icon(1))), b);
+  EXPECT_EQ(to_c(e), "Lx[2]");
+  // Out-of-range stays unfolded rather than reading garbage.
+  const ExprPtr oor = fold(load("Lp", icon(9)), b);
+  EXPECT_EQ(oor->kind, ExprKind::Load);
+}
+
+TEST(Ir, SubstituteVariable) {
+  const ExprPtr e = add(var("j"), load("Lp", var("j")));
+  const ExprPtr s = substitute(e, "j", icon(5));
+  Bindings b;
+  const std::vector<index_t> lp = {0, 1, 2, 3, 4, 10};
+  b.bind("Lp", lp);
+  EXPECT_EQ(eval_int(fold(s, b)), 15);
+}
+
+TEST(Ir, SubstituteRespectsLoopShadowing) {
+  LoopInfo li;
+  li.var = "j";  // shadows the outer j
+  li.lo = icon(0);
+  li.hi = var("j");  // header still refers to the outer j... by convention
+  StmtPtr loop = for_loop(li, {store("x", var("j"), fcon(1.0))});
+  const StmtPtr sub = substitute(loop, "j", icon(3));
+  // The loop with the same variable is left untouched (shadowing).
+  EXPECT_NE(to_c(sub).find("x[j]"), std::string::npos);
+}
+
+TEST(Passes, ViPruneRewritesCandidateLoop) {
+  const StmtPtr ast = build_trisolve_ast();
+  EXPECT_EQ(count_loops(ast), 2);
+  const StmtPtr pruned = apply_vi_prune(ast, "pruneSet", "pruneSetSize");
+  const std::string c = to_c(pruned);
+  EXPECT_NE(c.find("j0_p < pruneSetSize"), std::string::npos);
+  EXPECT_NE(c.find("const int j0 = pruneSet[j0_p];"), std::string::npos);
+  // Original AST untouched.
+  EXPECT_EQ(to_c(ast).find("pruneSetSize"), std::string::npos);
+}
+
+TEST(Passes, ViPruneThrowsWithoutCandidate) {
+  LoopInfo li;
+  li.var = "i";
+  li.lo = icon(0);
+  li.hi = icon(4);
+  const StmtPtr plain = block({for_loop(li, {})});
+  EXPECT_THROW(apply_vi_prune(plain, "s", "n"), invalid_matrix_error);
+}
+
+TEST(Passes, VsBlockReplacesCandidate) {
+  const StmtPtr ast = build_trisolve_ast();
+  const StmtPtr blocked = apply_vs_block(ast, build_blocked_trisolve_ast());
+  const std::string c = to_c(blocked);
+  EXPECT_NE(c.find("snStart"), std::string::npos);
+  EXPECT_NE(c.find("tail"), std::string::npos);
+}
+
+TEST(Passes, PeelProducesLiteralIterations) {
+  // Tiny L: columns 0..2; pruneSet = {0, 2}; peel position 0.
+  const std::vector<index_t> prune_set = {0, 2};
+  const std::vector<index_t> lp = {0, 3, 4, 6};
+  const std::vector<index_t> li_arr = {0, 1, 2, 1, 2, 2};
+  Bindings b;
+  b.bind("pruneSet", prune_set);
+  b.bind("Lp", lp);
+  b.bind("Li", li_arr);
+
+  StmtPtr ast = build_trisolve_ast();
+  ast = apply_vi_prune(ast, "pruneSet", "pruneSetSize");
+  const std::vector<std::int64_t> pos = {0};
+  ast = apply_peel(ast, "j0_p", pos, b, 16);
+  const std::string c = to_c(ast);
+  // Peeled column 0: diagonal at Lx[0], fully unrolled updates with
+  // literal row indices x[1], x[2] (Figure 1e shape).
+  EXPECT_NE(c.find("peeled iteration 0"), std::string::npos);
+  EXPECT_NE(c.find("x[0] /= Lx[0];"), std::string::npos);
+  EXPECT_NE(c.find("x[1] -= (Lx[1] * x[0]);"), std::string::npos);
+  EXPECT_NE(c.find("x[2] -= (Lx[2] * x[0]);"), std::string::npos);
+  // Residual loop covers positions 1..pruneSetSize.
+  EXPECT_NE(c.find("= 1; j0_p < pruneSetSize"), std::string::npos);
+}
+
+TEST(Passes, UnrollAndFoldFullyUnrollsConstantLoops) {
+  LoopInfo li;
+  li.var = "i";
+  li.lo = icon(0);
+  li.hi = icon(3);
+  const StmtPtr loop =
+      block({for_loop(li, {store("x", var("i"), fcon(1.0))})});
+  Bindings b;
+  const StmtPtr unrolled = apply_unroll_and_fold(loop, b, 4);
+  EXPECT_EQ(count_loops(unrolled), 0);
+  const std::string c = to_c(unrolled);
+  EXPECT_NE(c.find("x[0] = 1;"), std::string::npos);
+  EXPECT_NE(c.find("x[2] = 1;"), std::string::npos);
+}
+
+TEST(Passes, UnrollLimitRespected) {
+  LoopInfo li;
+  li.var = "i";
+  li.lo = icon(0);
+  li.hi = icon(100);
+  const StmtPtr loop =
+      block({for_loop(li, {store("x", var("i"), fcon(1.0))})});
+  Bindings b;
+  EXPECT_EQ(count_loops(apply_unroll_and_fold(loop, b, 4)), 1);
+}
+
+TEST(Passes, ConstantLetPropagates) {
+  // { let c = 5; x[c] = 1.0; } folds to x[5] with the let removed.
+  const StmtPtr s =
+      block({let("c", icon(5)), store("x", var("c"), fcon(1.0))});
+  Bindings b;
+  const StmtPtr f = apply_unroll_and_fold(s, b, 0);
+  const std::string c = to_c(f);
+  EXPECT_NE(c.find("x[5] = 1;"), std::string::npos);
+  EXPECT_EQ(c.find("const int c"), std::string::npos);
+}
+
+TEST(Passes, AnnotateVectorizeMarksInnermostOnly) {
+  const StmtPtr ast = annotate_vectorize(build_trisolve_ast());
+  // Outer loop (contains inner loop) not marked; inner marked.
+  const std::string c = to_c(ast);
+  const auto first_pragma = c.find("#pragma omp simd");
+  ASSERT_NE(first_pragma, std::string::npos);
+  // The pragma must come after the outer for.
+  EXPECT_GT(first_pragma, c.find("for (int j0"));
+}
+
+TEST(Passes, CholeskyAstHasBothCandidates) {
+  const StmtPtr ast = build_cholesky_ast();
+  const std::string c = to_c(ast);
+  EXPECT_NE(c.find("scatter_column"), std::string::npos);
+  // VI-Prune applies to the update loop.
+  const StmtPtr pruned = apply_vi_prune(ast, "rowPattern", "rowPatternSize");
+  EXPECT_NE(to_c(pruned).find("rowPattern"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sympiler::core

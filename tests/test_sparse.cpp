@@ -1,0 +1,239 @@
+// Unit tests for the CSC container, structural ops, and Matrix Market I/O.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "sparse/csc.h"
+#include "sparse/dense.h"
+#include "sparse/io_mm.h"
+#include "sparse/ops.h"
+
+namespace sympiler {
+namespace {
+
+TEST(Csc, EmptyMatrix) {
+  CscMatrix a(3, 4);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 4);
+  EXPECT_EQ(a.nnz(), 0);
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Csc, FromTripletsSortsAndSumsDuplicates) {
+  const std::vector<Triplet> trip = {
+      {2, 0, 1.0}, {0, 0, 5.0}, {2, 0, 2.5}, {1, 1, -1.0}, {0, 1, 4.0}};
+  const CscMatrix a = CscMatrix::from_triplets(3, 2, trip);
+  a.validate();
+  EXPECT_EQ(a.nnz(), 4);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), 3.5);  // duplicates summed
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 0.0);  // absent entry reads as zero
+}
+
+TEST(Csc, FromTripletsRejectsOutOfRange) {
+  const std::vector<Triplet> bad = {{3, 0, 1.0}};
+  EXPECT_THROW(CscMatrix::from_triplets(3, 2, bad), invalid_matrix_error);
+  const std::vector<Triplet> neg = {{-1, 0, 1.0}};
+  EXPECT_THROW(CscMatrix::from_triplets(3, 2, neg), invalid_matrix_error);
+}
+
+TEST(Csc, ValidateCatchesBrokenInvariants) {
+  CscMatrix a(2, 2, 2);
+  a.colptr = {0, 1, 2};
+  a.rowind = {0, 5};  // out of range
+  EXPECT_THROW(a.validate(), invalid_matrix_error);
+  a.rowind = {1, 0};
+  a.colptr = {0, 2, 2};  // unsorted rows within column 0
+  EXPECT_THROW(a.validate(), invalid_matrix_error);
+}
+
+TEST(Csc, Identity) {
+  const CscMatrix i3 = CscMatrix::identity(3);
+  i3.validate();
+  EXPECT_EQ(i3.nnz(), 3);
+  EXPECT_TRUE(i3.is_lower_triangular());
+  EXPECT_DOUBLE_EQ(i3.at(2, 2), 1.0);
+}
+
+TEST(Ops, TransposeRoundTrip) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<index_t> idx(0, 9);
+  std::uniform_real_distribution<value_t> val(-2.0, 2.0);
+  std::vector<Triplet> trip;
+  for (int k = 0; k < 40; ++k) trip.push_back({idx(rng), idx(rng), val(rng)});
+  const CscMatrix a = CscMatrix::from_triplets(10, 10, trip);
+  const CscMatrix att = transpose(transpose(a));
+  EXPECT_TRUE(a.equals(att));
+}
+
+TEST(Ops, TransposeValuesLandCorrectly) {
+  const std::vector<Triplet> trip = {{1, 0, 2.0}, {2, 1, 3.0}, {0, 2, 4.0}};
+  const CscMatrix a = CscMatrix::from_triplets(3, 3, trip);
+  const CscMatrix at = transpose(a);
+  at.validate();
+  EXPECT_DOUBLE_EQ(at.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(at.at(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(at.at(2, 0), 4.0);
+}
+
+TEST(Ops, LowerTriangleExtraction) {
+  const std::vector<Triplet> trip = {
+      {0, 0, 1.0}, {1, 0, 2.0}, {0, 1, 3.0}, {1, 1, 4.0}};
+  const CscMatrix a = CscMatrix::from_triplets(2, 2, trip);
+  const CscMatrix l = lower_triangle(a);
+  EXPECT_EQ(l.nnz(), 3);
+  EXPECT_TRUE(l.is_lower_triangular());
+  const CscMatrix u = upper_triangle_strict(a);
+  EXPECT_EQ(u.nnz(), 1);
+  EXPECT_DOUBLE_EQ(u.at(0, 1), 3.0);
+}
+
+TEST(Ops, SymmetricFullFromLower) {
+  const std::vector<Triplet> trip = {{0, 0, 2.0}, {1, 0, -1.0}, {1, 1, 2.0}};
+  const CscMatrix lower = CscMatrix::from_triplets(2, 2, trip);
+  const CscMatrix full = symmetric_full_from_lower(lower);
+  EXPECT_EQ(full.nnz(), 4);
+  EXPECT_DOUBLE_EQ(full.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(full.at(1, 0), -1.0);
+}
+
+TEST(Ops, SymmetricFullRejectsUpperEntries) {
+  const std::vector<Triplet> trip = {{0, 1, 1.0}};
+  const CscMatrix notlower = CscMatrix::from_triplets(2, 2, trip);
+  EXPECT_THROW(symmetric_full_from_lower(notlower), invalid_matrix_error);
+}
+
+TEST(Ops, PermuteSymmetricLowerKeepsSymmetricMatrix) {
+  // 3x3 SPD-ish: A = [4 -1 0; -1 4 -2; 0 -2 4] stored lower.
+  const std::vector<Triplet> trip = {
+      {0, 0, 4.0}, {1, 0, -1.0}, {1, 1, 4.0}, {2, 1, -2.0}, {2, 2, 4.0}};
+  const CscMatrix lower = CscMatrix::from_triplets(3, 3, trip);
+  const std::vector<index_t> perm = {2, 0, 1};  // old->new
+  const CscMatrix p = permute_symmetric_lower(lower, perm);
+  p.validate();
+  EXPECT_TRUE(p.is_lower_triangular());
+  // A(1,0) = -1 must appear at (perm[1], perm[0]) = (0, 2) -> stored (2,0).
+  EXPECT_DOUBLE_EQ(p.at(2, 0), -1.0);
+  // A(2,1) = -2 -> (perm[2], perm[1]) = (1, 0).
+  EXPECT_DOUBLE_EQ(p.at(1, 0), -2.0);
+  EXPECT_DOUBLE_EQ(p.at(0, 0), 4.0);  // old diag 2
+}
+
+TEST(Ops, MatvecAgainstDense) {
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<index_t> idx(0, 7);
+  std::uniform_real_distribution<value_t> val(-1.0, 1.0);
+  std::vector<Triplet> trip;
+  for (int k = 0; k < 30; ++k) trip.push_back({idx(rng), idx(rng), val(rng)});
+  const CscMatrix a = CscMatrix::from_triplets(8, 8, trip);
+  const DenseMatrix d = DenseMatrix::from_csc(a);
+  std::vector<value_t> x(8), y(8), yref(8, 0.0);
+  for (auto& v : x) v = val(rng);
+  matvec(a, x, y);
+  for (index_t i = 0; i < 8; ++i)
+    for (index_t j = 0; j < 8; ++j) yref[i] += d(i, j) * x[j];
+  for (index_t i = 0; i < 8; ++i) EXPECT_NEAR(y[i], yref[i], 1e-14);
+}
+
+TEST(Ops, SymmetricMatvecMatchesFullMatvec) {
+  const std::vector<Triplet> trip = {
+      {0, 0, 4.0}, {1, 0, -1.0}, {1, 1, 4.0}, {2, 1, -2.0}, {2, 2, 4.0}};
+  const CscMatrix lower = CscMatrix::from_triplets(3, 3, trip);
+  const CscMatrix full = symmetric_full_from_lower(lower);
+  const std::vector<value_t> x = {1.0, 2.0, 3.0};
+  std::vector<value_t> y1(3), y2(3);
+  matvec(full, x, y1);
+  matvec_symmetric_lower(lower, x, y2);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-14);
+}
+
+TEST(Ops, PermutationHelpers) {
+  const std::vector<index_t> perm = {2, 0, 1};
+  EXPECT_TRUE(is_permutation(perm));
+  const std::vector<index_t> inv = invert_permutation(perm);
+  EXPECT_EQ(inv, (std::vector<index_t>{1, 2, 0}));
+  const std::vector<index_t> bad = {0, 0, 1};
+  EXPECT_FALSE(is_permutation(bad));
+  EXPECT_THROW(invert_permutation(bad), invalid_matrix_error);
+}
+
+TEST(IoMm, RoundTripGeneral) {
+  const std::vector<Triplet> trip = {{1, 0, 2.5}, {0, 1, -3.0}, {2, 2, 1.0}};
+  const CscMatrix a = CscMatrix::from_triplets(3, 3, trip);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const CscMatrix b = read_matrix_market(ss);
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(IoMm, SymmetricReadsAsLower) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% comment line\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "3 3 5.0\n"
+      "2 3 7.0\n");  // upper entry: must be mirrored to (3,2)
+  const CscMatrix a = read_matrix_market(ss);
+  EXPECT_TRUE(a.is_lower_triangular());
+  EXPECT_DOUBLE_EQ(a.at(2, 1), 7.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+}
+
+TEST(IoMm, PatternMatrixGetsUnitValues) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 1\n");
+  const CscMatrix a = read_matrix_market(ss);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+}
+
+TEST(IoMm, RejectsMalformedHeader) {
+  std::stringstream ss("%%NotMatrixMarket matrix coordinate real general\n");
+  EXPECT_THROW(read_matrix_market(ss), invalid_matrix_error);
+  std::stringstream ss2(
+      "%%MatrixMarket matrix array real general\n2 2 1\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(ss2), invalid_matrix_error);
+}
+
+TEST(IoMm, RejectsTruncatedEntries) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(ss), invalid_matrix_error);
+}
+
+TEST(Dense, FromCscAndMaxAbsDiff) {
+  const std::vector<Triplet> trip = {{0, 0, 1.0}, {1, 1, 2.0}};
+  const CscMatrix a = CscMatrix::from_triplets(2, 2, trip);
+  DenseMatrix d = DenseMatrix::from_csc(a);
+  EXPECT_DOUBLE_EQ(d(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 0.0);
+  DenseMatrix e(2, 2);
+  e(0, 0) = 1.0;
+  e(1, 1) = 2.5;
+  EXPECT_DOUBLE_EQ(d.max_abs_diff(e), 0.5);
+}
+
+TEST(Ops, LltResidualOnHandFactor) {
+  // L = [1 0; 2 1], L L^T = [1 2; 2 5].
+  const std::vector<Triplet> ltrip = {{0, 0, 1.0}, {1, 0, 2.0}, {1, 1, 1.0}};
+  const CscMatrix l = CscMatrix::from_triplets(2, 2, ltrip);
+  const std::vector<Triplet> atrip = {{0, 0, 1.0}, {1, 0, 2.0}, {1, 1, 5.0}};
+  const CscMatrix a = CscMatrix::from_triplets(2, 2, atrip);
+  EXPECT_NEAR(llt_residual_inf_norm(l, a), 0.0, 1e-15);
+  // Perturb A and expect the residual to show it.
+  const std::vector<Triplet> btrip = {{0, 0, 1.0}, {1, 0, 2.0}, {1, 1, 6.0}};
+  const CscMatrix b = CscMatrix::from_triplets(2, 2, btrip);
+  EXPECT_NEAR(llt_residual_inf_norm(l, b), 1.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace sympiler
