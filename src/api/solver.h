@@ -1,0 +1,175 @@
+// Public facade over the Sympiler pipeline: every solve enters through
+// here, and every symbolic inspection is looked up in a pattern-keyed
+// SymbolicCache before it is run.
+//
+// The paper's decoupling makes inspection a pure function of the sparsity
+// pattern; this layer turns that into operational leverage for services
+// that solve many systems with recurring patterns (FEM Newton steps,
+// circuit transients): the first factor() of a pattern pays the inspector,
+// every later factor() of the same pattern — from this Solver or any other
+// sharing the context — is numeric-only. The cache holds
+// shared_ptr<const Sets>, so cached sets outlive any one matrix or Solver
+// instance.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/cholesky_executor.h"
+#include "core/options.h"
+#include "core/symbolic_cache.h"
+#include "core/trisolve_executor.h"
+#include "parallel/levelset.h"
+#include "sparse/csc.h"
+#include "util/common.h"
+#include "util/stats.h"
+
+namespace sympiler::api {
+
+/// Which numeric path a factor() ended up on. Chosen from the cached sets'
+/// profitability fields, not rediscovered per call.
+enum class ExecutionPath {
+  Simplicial,          ///< VI-Prune-only left-looking (VS-Block unprofitable)
+  Supernodal,          ///< sequential supernodal executor
+  ParallelSupernodal,  ///< level-set parallel supernodal (OpenMP builds)
+};
+
+[[nodiscard]] const char* to_string(ExecutionPath path);
+
+/// Facade configuration: the inspection options plus the knobs that steer
+/// the numeric-path choice.
+struct SolverConfig {
+  core::SympilerOptions options;
+
+  /// Allow the level-set parallel Cholesky when it looks profitable.
+  /// Meaningless (always sequential) without SYMPILER_HAS_OPENMP.
+  bool enable_parallel = true;
+  /// Parallel profitability gates: enough supernodes to schedule, and wide
+  /// enough average levels to beat the barrier cost per level.
+  index_t parallel_min_supernodes = 256;
+  double parallel_min_avg_level_width = 8.0;
+
+  /// Capacity of the private SymbolicContext a Solver creates when it is
+  /// constructed with an explicitly null context. Ignored on the default
+  /// path (sharing SymbolicContext::global() or a caller-supplied context,
+  /// whose capacity was fixed at that context's construction).
+  std::size_t cache_capacity = core::CholeskyCache::kDefaultCapacity;
+};
+
+/// A bundle of the two symbolic caches. Solvers sharing a context share
+/// inspection results; the process-wide default context makes that the
+/// out-of-the-box behavior.
+class SymbolicContext {
+ public:
+  explicit SymbolicContext(
+      std::size_t capacity = core::CholeskyCache::kDefaultCapacity)
+      : cholesky_(capacity), trisolve_(capacity) {}
+
+  [[nodiscard]] core::CholeskyCache& cholesky_cache() { return cholesky_; }
+  [[nodiscard]] core::TriSolveCache& trisolve_cache() { return trisolve_; }
+
+  /// Process-wide default context (created on first use, never destroyed
+  /// before its borrowers thanks to shared_ptr ownership).
+  [[nodiscard]] static std::shared_ptr<SymbolicContext> global();
+
+ private:
+  core::CholeskyCache cholesky_;
+  core::TriSolveCache trisolve_;
+};
+
+/// SPD solver facade: factor() + solve()/solve_batch() with cached
+/// symbolic analysis. One Solver holds one factorization at a time;
+/// factor() with a new pattern re-routes automatically (and usually still
+/// hits the cache if the pattern recurred).
+class Solver {
+ public:
+  explicit Solver(SolverConfig config = {},
+                  std::shared_ptr<SymbolicContext> context =
+                      SymbolicContext::global());
+
+  /// Symbolic (cache lookup, inspect on miss) + numeric factorization of
+  /// the lower triangle of an SPD matrix. Repeated calls with the same
+  /// pattern skip every symbolic step except the O(nnz) key hash.
+  void factor(const CscMatrix& a_lower);
+
+  /// Solve A x = b in place (requires factor()).
+  void solve(std::span<value_t> bx) const;
+
+  /// Multi-RHS solve: `bx` holds nrhs column-major dense right-hand sides
+  /// of length n; solutions overwrite them. RHS columns are independent
+  /// and solved in parallel under OpenMP builds.
+  void solve_batch(std::span<value_t> bx, index_t nrhs) const;
+
+  /// Convenience multi-RHS overload.
+  void solve_batch(std::vector<std::vector<value_t>>& rhs) const;
+
+  /// Extract L as CSC (requires factor()).
+  [[nodiscard]] CscMatrix factor_csc() const;
+
+  /// True when the last factor() ran no inspection: its symbolic phase was
+  /// served from the cache or from this Solver's standing same-pattern
+  /// state.
+  [[nodiscard]] bool symbolic_cached() const { return symbolic_cached_; }
+  /// Numeric path the last factor() ran (valid after factor()).
+  [[nodiscard]] ExecutionPath path() const { return path_; }
+  /// Inspection sets backing the current factorization.
+  [[nodiscard]] const core::CholeskySets& sets() const;
+  /// Counters of the underlying Cholesky cache.
+  [[nodiscard]] CacheStats cache_stats() const;
+  [[nodiscard]] const std::shared_ptr<SymbolicContext>& context() const {
+    return context_;
+  }
+
+ private:
+  void prepare_symbolic(const CscMatrix& a_lower);
+  [[nodiscard]] bool parallel_profitable() const;
+
+  SolverConfig config_;
+  std::shared_ptr<SymbolicContext> context_;
+
+  core::PatternKey key_;  ///< key of the current symbolic state
+  bool has_key_ = false;
+  bool symbolic_cached_ = false;
+  ExecutionPath path_ = ExecutionPath::Simplicial;
+  std::shared_ptr<const core::CholeskySets> sets_;
+
+  // Sequential paths run through the executor; the parallel path factors
+  // into panels_ directly with the level schedule.
+  std::unique_ptr<core::CholeskyExecutor> executor_;
+  parallel::LevelSchedule schedule_;
+  std::vector<value_t> panels_;
+  bool factorized_ = false;
+};
+
+/// Triangular-solve facade: the Lx = b pipeline (paper Figure 1) with the
+/// reach/block sets cached per (pattern of L, pattern of b). `l` is
+/// borrowed and must outlive the TriangularSolver; the sets are shared
+/// with the cache and outlive both.
+class TriangularSolver {
+ public:
+  TriangularSolver(const CscMatrix& l, std::span<const index_t> beta,
+                   SolverConfig config = {},
+                   std::shared_ptr<SymbolicContext> context =
+                       SymbolicContext::global());
+
+  /// Numeric solve: x holds b on entry, the solution on exit.
+  void solve(std::span<value_t> x) const { executor_.solve(x); }
+
+  /// Multi-RHS variant; every column must carry the inspected pattern.
+  void solve_batch(std::span<value_t> xs, index_t nrhs) const;
+
+  [[nodiscard]] bool symbolic_cached() const { return symbolic_cached_; }
+  [[nodiscard]] const core::TriSolveSets& sets() const {
+    return executor_.sets();
+  }
+  [[nodiscard]] CacheStats cache_stats() const;
+
+ private:
+  std::shared_ptr<SymbolicContext> context_;
+  index_t n_ = 0;
+  bool symbolic_cached_ = false;
+  core::TriSolveExecutor executor_;
+};
+
+}  // namespace sympiler::api

@@ -10,25 +10,32 @@ namespace sympiler::core {
 
 CholeskyExecutor::CholeskyExecutor(const CscMatrix& a_lower,
                                    SympilerOptions opt)
-    : opt_(opt), sets_(inspect_cholesky(a_lower, opt)) {
+    : CholeskyExecutor(std::make_shared<const CholeskySets>(
+                           inspect_cholesky(a_lower, opt)),
+                       opt) {}
+
+CholeskyExecutor::CholeskyExecutor(std::shared_ptr<const CholeskySets> sets,
+                                   SympilerOptions opt)
+    : opt_(opt), sets_(std::move(sets)) {
+  SYMPILER_CHECK(sets_ != nullptr, "cholesky executor: null inspection sets");
   specialized_ =
-      opt_.low_level && sets_.avg_colcount < opt_.blas_switch_colcount;
-  if (sets_.vs_block_profitable) {
-    panels_.resize(static_cast<std::size_t>(sets_.layout.total_values()));
+      opt_.low_level && sets_->avg_colcount < opt_.blas_switch_colcount;
+  if (sets_->vs_block_profitable) {
+    panels_.resize(static_cast<std::size_t>(sets_->layout.total_values()));
     index_t max_m = 0, max_w = 0;
-    for (index_t s = 0; s < sets_.layout.nsuper(); ++s) {
-      max_m = std::max(max_m, sets_.layout.nrows(s));
-      max_w = std::max(max_w, sets_.layout.width(s));
+    for (index_t s = 0; s < sets_->layout.nsuper(); ++s) {
+      max_m = std::max(max_m, sets_->layout.nrows(s));
+      max_w = std::max(max_w, sets_->layout.width(s));
     }
     work_.resize(static_cast<std::size_t>(max_m) * max_w);
-    map_.resize(static_cast<std::size_t>(sets_.layout.n));
+    map_.resize(static_cast<std::size_t>(sets_->layout.n));
   } else {
-    l_ = sets_.sym.l_pattern;  // simplicial factor storage
+    l_ = sets_->sym.l_pattern;  // simplicial factor storage
   }
 }
 
 void CholeskyExecutor::factorize(const CscMatrix& a_lower) {
-  if (sets_.vs_block_profitable) {
+  if (sets_->vs_block_profitable) {
     factorize_supernodal(a_lower);
   } else {
     factorize_simplicial(a_lower);
@@ -37,7 +44,7 @@ void CholeskyExecutor::factorize(const CscMatrix& a_lower) {
 }
 
 void CholeskyExecutor::factorize_supernodal(const CscMatrix& a_lower) {
-  const solvers::SupernodalLayout& layout = sets_.layout;
+  const solvers::SupernodalLayout& layout = sets_->layout;
   scatter_into_panels(layout, a_lower, panels_);
   const index_t nsuper = layout.nsuper();
   value_t* work = work_.data();
@@ -52,8 +59,8 @@ void CholeskyExecutor::factorize_supernodal(const CscMatrix& a_lower) {
     for (index_t t = 0; t < m; ++t) map[rows[t]] = t;
 
     // Static update schedule — no dynamic discovery (fully decoupled).
-    for (index_t u = sets_.updates.ptr[s]; u < sets_.updates.ptr[s + 1]; ++u) {
-      const solvers::UpdateRef ref = sets_.updates.refs[u];
+    for (index_t u = sets_->updates.ptr[s]; u < sets_->updates.ptr[s + 1]; ++u) {
+      const solvers::UpdateRef ref = sets_->updates.refs[u];
       const index_t* drows = layout.srows.data() + layout.srow_ptr[ref.d];
       const index_t dm = layout.nrows(ref.d);
       const index_t dw = layout.width(ref.d);
@@ -114,14 +121,14 @@ void CholeskyExecutor::factorize_simplicial(const CscMatrix& a_lower) {
   const index_t n = l_.cols();
   std::vector<value_t> f(static_cast<std::size_t>(n), 0.0);
   std::vector<index_t> next(static_cast<std::size_t>(n), 0);
-  const index_t* rowpat = sets_.rowpat.data();
+  const index_t* rowpat = sets_->rowpat.data();
 
   for (index_t j = 0; j < n; ++j) {
     for (index_t p = a_lower.col_begin(j); p < a_lower.col_end(j); ++p) {
       const index_t i = a_lower.rowind[p];
       if (i >= j) f[i] = a_lower.values[p];
     }
-    for (index_t q = sets_.rowpat_ptr[j]; q < sets_.rowpat_ptr[j + 1]; ++q) {
+    for (index_t q = sets_->rowpat_ptr[j]; q < sets_->rowpat_ptr[j + 1]; ++q) {
       const index_t k = rowpat[q];
       const index_t pj = next[k];
       const value_t lkj = l_.values[pj];
@@ -149,9 +156,9 @@ void CholeskyExecutor::factorize_simplicial(const CscMatrix& a_lower) {
 
 void CholeskyExecutor::solve(std::span<value_t> bx) const {
   SYMPILER_CHECK(factorized_, "solve() before factorize()");
-  if (sets_.vs_block_profitable) {
-    panel_forward_solve(sets_.layout, panels_, bx);
-    panel_backward_solve(sets_.layout, panels_, bx);
+  if (sets_->vs_block_profitable) {
+    panel_forward_solve(sets_->layout, panels_, bx);
+    panel_backward_solve(sets_->layout, panels_, bx);
   } else {
     solvers::trisolve_naive(l_, bx);
     solvers::trisolve_transpose(l_, bx);
@@ -160,8 +167,8 @@ void CholeskyExecutor::solve(std::span<value_t> bx) const {
 
 CscMatrix CholeskyExecutor::factor_csc() const {
   SYMPILER_CHECK(factorized_, "factor_csc() before factorize()");
-  if (sets_.vs_block_profitable)
-    return panels_to_csc(sets_.layout, panels_);
+  if (sets_->vs_block_profitable)
+    return panels_to_csc(sets_->layout, panels_);
   return l_;
 }
 

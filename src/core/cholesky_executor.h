@@ -17,6 +17,7 @@
 // "The VI-Prune transformation is already applied to the baseline code").
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -32,6 +33,14 @@ class CholeskyExecutor {
   /// Full symbolic inspection ("compile time"); pattern is fixed after.
   explicit CholeskyExecutor(const CscMatrix& a_lower, SympilerOptions opt = {});
 
+  /// Numeric-only construction from precomputed (typically cached) sets:
+  /// no symbolic work happens here. `sets` must have been produced by
+  /// inspect_cholesky on the pattern of the matrices later passed to
+  /// factorize(), with options equivalent to `opt` — the SymbolicCache key
+  /// guarantees this.
+  CholeskyExecutor(std::shared_ptr<const CholeskySets> sets,
+                   SympilerOptions opt = {});
+
   /// Numeric factorization of a matrix with the inspected pattern.
   void factorize(const CscMatrix& a_lower);
 
@@ -41,21 +50,21 @@ class CholeskyExecutor {
   /// Extract L as CSC (for inspection and the triangular-solve pipeline).
   [[nodiscard]] CscMatrix factor_csc() const;
 
-  [[nodiscard]] const CholeskySets& sets() const { return sets_; }
+  [[nodiscard]] const CholeskySets& sets() const { return *sets_; }
   [[nodiscard]] bool vs_block_applied() const {
-    return sets_.vs_block_profitable;
+    return sets_->vs_block_profitable;
   }
   /// True when the generated small kernels are used instead of the generic
   /// blocked routines (the paper's column-count BLAS switch).
   [[nodiscard]] bool specialized_kernels() const { return specialized_; }
-  [[nodiscard]] double flops() const { return sets_.flops(); }
+  [[nodiscard]] double flops() const { return sets_->flops(); }
 
  private:
   void factorize_supernodal(const CscMatrix& a_lower);
   void factorize_simplicial(const CscMatrix& a_lower);
 
   SympilerOptions opt_;
-  CholeskySets sets_;
+  std::shared_ptr<const CholeskySets> sets_;  ///< shared with the cache
   bool specialized_ = false;
   std::vector<value_t> panels_;  ///< supernodal factor storage
   CscMatrix l_;                  ///< simplicial factor storage

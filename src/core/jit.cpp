@@ -80,9 +80,13 @@ JitModule JitModule::compile(const std::string& source,
   }
 
   Timer timer;
-  const std::string cmd = std::string(SYMPILER_HOST_CXX) +
-                          " -O3 -march=native -fopenmp-simd -shared -fPIC " +
-                          src_path + " -o " + so_path + " 2> " + err_path;
+  // -ffp-contract=off: the generated code must be bit-identical to the
+  // executor schedule (tests assert this); fused multiply-add contraction
+  // under -march=native would reassociate the rounding.
+  const std::string cmd =
+      std::string(SYMPILER_HOST_CXX) +
+      " -O3 -march=native -ffp-contract=off -fopenmp-simd -shared -fPIC " +
+      src_path + " -o " + so_path + " 2> " + err_path;
   const int rc = std::system(cmd.c_str());
   JitModule mod;
   mod.compile_seconds_ = timer.seconds();

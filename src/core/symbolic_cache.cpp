@@ -1,0 +1,8 @@
+#include "core/symbolic_cache.h"
+
+namespace sympiler::core {
+
+template class SymbolicCache<CholeskySets>;
+template class SymbolicCache<TriSolveSets>;
+
+}  // namespace sympiler::core

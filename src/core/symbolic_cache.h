@@ -1,0 +1,153 @@
+// Thread-safe LRU cache of symbolic inspection sets, keyed by PatternKey.
+//
+// This is the reuse layer the paper's decoupling enables: inspection sets
+// are immutable once built (the executors only read them), so a service
+// solving many systems with recurring sparsity patterns — Newton steps on
+// a fixed mesh, circuit transients on a fixed topology — pays the
+// inspector once per pattern and shares the sets through
+// shared_ptr<const Sets>. Cached sets outlive any one matrix or executor:
+// an entry stays alive as long as the cache or any borrower holds it, even
+// across eviction.
+//
+// Concurrency: a single mutex guards the map + LRU list. Lookups are
+// O(1) under the lock; building the sets on a miss happens OUTSIDE the
+// lock so concurrent misses on different patterns inspect in parallel.
+// Racing builders of the same key are resolved first-writer-wins: the
+// losers discard their build and adopt the resident entry, so every caller
+// that asked for one key holds the same sets object.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/inspector.h"
+#include "core/pattern_key.h"
+#include "util/stats.h"
+
+namespace sympiler::core {
+
+template <class Sets>
+class SymbolicCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  explicit SymbolicCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  SymbolicCache(const SymbolicCache&) = delete;
+  SymbolicCache& operator=(const SymbolicCache&) = delete;
+
+  /// Result of a cache lookup: the resident sets plus whether the lookup
+  /// was served from the cache (the facade surfaces this to callers and
+  /// benchmarks).
+  struct Lookup {
+    std::shared_ptr<const Sets> sets;
+    bool hit = false;
+  };
+
+  /// Hit: bump to most-recently-used and return the entry. Miss: return
+  /// {nullptr, false} and count a miss.
+  [[nodiscard]] Lookup find(const PatternKey& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return find_locked(key);
+  }
+
+  /// Insert (first-writer-wins). If the key is already resident the
+  /// existing entry is returned untouched — callers racing to insert the
+  /// same pattern all end up sharing one sets object.
+  std::shared_ptr<const Sets> insert(const PatternKey& key,
+                                     std::shared_ptr<const Sets> sets) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return insert_locked(key, std::move(sets));
+  }
+
+  /// The cache's main entry point: one lookup, and on a miss one build of
+  /// the sets (outside the lock) followed by an insert. `build` must
+  /// return Sets by value and be safe to run concurrently with other
+  /// builds.
+  template <class BuildFn>
+  [[nodiscard]] Lookup get_or_build(const PatternKey& key, BuildFn&& build) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Lookup found = find_locked(key);
+      if (found.hit) return found;
+    }
+    auto built = std::make_shared<const Sets>(build());
+    std::lock_guard<std::mutex> lock(mu_);
+    return {insert_locked(key, std::move(built)), false};
+  }
+
+  [[nodiscard]] CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Drop every entry (borrowed shared_ptrs stay valid) and zero counters.
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    index_.clear();
+    stats_ = CacheStats{};
+  }
+
+ private:
+  using Entry = std::pair<PatternKey, std::shared_ptr<const Sets>>;
+  using List = std::list<Entry>;
+
+  Lookup find_locked(const PatternKey& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return {nullptr, false};
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+    ++stats_.hits;
+    return {it->second->second, true};
+  }
+
+  std::shared_ptr<const Sets> insert_locked(const PatternKey& key,
+                                            std::shared_ptr<const Sets> sets) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Lost a build race; adopt the resident entry.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    lru_.emplace_front(key, std::move(sets));
+    index_.emplace(key, lru_.begin());
+    while (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    return lru_.front().second;
+  }
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  List lru_;  ///< front = most recently used
+  std::unordered_map<PatternKey, typename List::iterator, PatternKeyHash>
+      index_;
+  CacheStats stats_;
+};
+
+// The two instantiations the solver pipeline uses (definitions in
+// symbolic_cache.cpp).
+extern template class SymbolicCache<CholeskySets>;
+extern template class SymbolicCache<TriSolveSets>;
+
+using CholeskyCache = SymbolicCache<CholeskySets>;
+using TriSolveCache = SymbolicCache<TriSolveSets>;
+
+}  // namespace sympiler::core

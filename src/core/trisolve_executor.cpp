@@ -8,16 +8,22 @@ TriSolveExecutor::TriSolveExecutor(const CscMatrix& l,
                                    std::span<const index_t> beta,
                                    SympilerOptions opt,
                                    const SupernodePartition* known_blocks)
-    : l_(&l),
-      opt_(opt),
-      sets_(inspect_trisolve(l, beta, opt, known_blocks)) {
+    : TriSolveExecutor(
+          std::make_shared<const TriSolveSets>(
+              inspect_trisolve(l, beta, opt, known_blocks)),
+          l, opt) {}
+
+TriSolveExecutor::TriSolveExecutor(std::shared_ptr<const TriSolveSets> sets,
+                                   const CscMatrix& l, SympilerOptions opt)
+    : l_(&l), opt_(opt), sets_(std::move(sets)) {
+  SYMPILER_CHECK(sets_ != nullptr, "trisolve executor: null inspection sets");
   // Preallocate the tail buffer to the largest block tail (over all
   // supernodes: the VS-Block-only configuration traverses every block).
   index_t max_tail = 0;
-  for (index_t s = 0; s < sets_.blocks.count(); ++s) {
-    const index_t c1 = sets_.blocks.start[s];
-    const index_t w = sets_.blocks.width(s);
-    max_tail = std::max(max_tail, sets_.colcount[c1] - w);
+  for (index_t s = 0; s < sets_->blocks.count(); ++s) {
+    const index_t c1 = sets_->blocks.start[s];
+    const index_t w = sets_->blocks.width(s);
+    max_tail = std::max(max_tail, sets_->colcount[c1] - w);
   }
   tail_.assign(static_cast<std::size_t>(max_tail), 0.0);
 }
@@ -25,7 +31,7 @@ TriSolveExecutor::TriSolveExecutor(const CscMatrix& l,
 void TriSolveExecutor::solve(std::span<value_t> x) const {
   SYMPILER_CHECK(static_cast<index_t>(x.size()) == l_->cols(),
                  "trisolve executor: size mismatch");
-  if (sets_.vs_block_profitable) {
+  if (sets_->vs_block_profitable) {
     solve_blocked(x);
   } else {
     solve_pruned(x);
@@ -51,7 +57,7 @@ void TriSolveExecutor::solve_pruned(std::span<value_t> x) const {
     }
     return;
   }
-  for (const index_t j : sets_.reach) {
+  for (const index_t j : sets_->reach) {
     const index_t p0 = l.col_begin(j);
     const index_t p1 = l.col_end(j);
     const value_t xj = x[j] / Lx[p0];
@@ -82,15 +88,15 @@ void TriSolveExecutor::solve_blocked(std::span<value_t> x) const {
   const index_t* Li = l.rowind.data();
   const value_t* Lx = l.values.data();
   const index_t nblocks = opt_.vi_prune
-                              ? static_cast<index_t>(sets_.sn_reach.size())
-                              : sets_.blocks.count();
+                              ? static_cast<index_t>(sets_->sn_reach.size())
+                              : sets_->blocks.count();
   value_t* tail = tail_.data();
   for (index_t k = 0; k < nblocks; ++k) {
-    const index_t s = opt_.vi_prune ? sets_.sn_reach[k] : k;
-    const index_t c1 = sets_.blocks.start[s];
-    const index_t c2 = sets_.blocks.start[s + 1];
-    const index_t cr = opt_.vi_prune ? sets_.sn_first_col[k] : c1;
-    const index_t tail_len = sets_.colcount[c1] - (c2 - c1);
+    const index_t s = opt_.vi_prune ? sets_->sn_reach[k] : k;
+    const index_t c1 = sets_->blocks.start[s];
+    const index_t c2 = sets_->blocks.start[s + 1];
+    const index_t cr = opt_.vi_prune ? sets_->sn_first_col[k] : c1;
+    const index_t tail_len = sets_->colcount[c1] - (c2 - c1);
 
     if (opt_.low_level && c2 - cr == 1 && cr == c1) {
       // Peeled single-column supernode: straight scalar column, no gather

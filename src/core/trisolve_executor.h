@@ -9,6 +9,7 @@
 // version; tests assert both produce identical results.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -29,15 +30,24 @@ class TriSolveExecutor {
                    SympilerOptions opt = {},
                    const SupernodePartition* known_blocks = nullptr);
 
+  /// Numeric-only construction from precomputed (typically cached) sets:
+  /// no symbolic work happens here. `sets` must have been produced by
+  /// inspect_trisolve on the pattern of `l` (and the intended beta) with
+  /// options equivalent to `opt` — the SymbolicCache key guarantees this.
+  /// (Sets come first so that `{...}` beta literals in the other overload
+  /// stay unambiguous.)
+  TriSolveExecutor(std::shared_ptr<const TriSolveSets> sets,
+                   const CscMatrix& l, SympilerOptions opt = {});
+
   /// Numeric solve: x holds b on entry (with the inspected pattern), the
   /// solution on exit. No symbolic work happens here.
   void solve(std::span<value_t> x) const;
 
-  [[nodiscard]] const TriSolveSets& sets() const { return sets_; }
+  [[nodiscard]] const TriSolveSets& sets() const { return *sets_; }
   [[nodiscard]] bool vs_block_applied() const {
-    return sets_.vs_block_profitable;
+    return sets_->vs_block_profitable;
   }
-  [[nodiscard]] double flops() const { return sets_.flops; }
+  [[nodiscard]] double flops() const { return sets_->flops; }
 
  private:
   void solve_pruned(std::span<value_t> x) const;
@@ -45,7 +55,7 @@ class TriSolveExecutor {
 
   const CscMatrix* l_;
   SympilerOptions opt_;
-  TriSolveSets sets_;
+  std::shared_ptr<const TriSolveSets> sets_;  ///< shared with the cache
   mutable std::vector<value_t> tail_;  ///< gather buffer for block tails
 };
 

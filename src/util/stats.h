@@ -1,13 +1,36 @@
 // Small statistics helpers for benchmark reporting (paper reports medians
-// of 5 runs; we do the same).
+// of 5 runs; we do the same), plus the counter block surfaced by the
+// symbolic cache.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <string>
 #include <vector>
 
 namespace sympiler {
+
+/// Hit/miss/eviction counters of a SymbolicCache (core/symbolic_cache.h).
+/// A snapshot — reading it is not synchronized with concurrent cache use.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = lookups();
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+  [[nodiscard]] std::string to_string() const {
+    return "hits=" + std::to_string(hits) +
+           " misses=" + std::to_string(misses) +
+           " evictions=" + std::to_string(evictions);
+  }
+};
 
 /// Median of a sample (copies; samples are tiny).
 [[nodiscard]] inline double median(std::vector<double> v) {
