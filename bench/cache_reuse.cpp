@@ -1,27 +1,181 @@
-// Cache-reuse benchmark: the repeated-pattern regime the SymbolicCache
+// Cache-reuse benchmark: the repeated-pattern regime the plan cache
 // exists for. A service re-solving systems whose sparsity recurs (Newton
-// steps, transients, batched scenarios) pays the inspector once per
-// pattern; every later request finds the sets resident and runs the
+// steps, transients, batched scenarios) pays the Planner once per
+// pattern; every later request finds the plan resident and runs the
 // numeric phase only.
 //
 // For each suite problem this driver measures:
-//   sym-cold : symbolic inspection on a cold cache (the miss path),
+//   sym-cold : symbolic planning on a cold cache (the miss path),
 //   sym-warm : the same request served from the cache (the hit path) —
 //              this is the "inspector time" a warm solve actually pays,
 //   numeric  : one numeric refactorization (what reuse amortizes against),
 // and reports the cache hit/miss/eviction counters after a simulated
 // steady-state of repeated-pattern factors.
+//
+// A second section measures warm-lookup throughput under thread
+// contention (1/4/8 threads hammering resident keys) for the sharded
+// cache against a single-mutex (1-shard) baseline — the many-core regime
+// the mutex striping exists for. Results are also emitted as
+// machine-readable JSON (BENCH_cache.json) for the perf trajectory.
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "api/solver.h"
 #include "bench/common.h"
+#include "core/execution_plan.h"
 #include "core/pattern_key.h"
+#include "core/planner.h"
+#include "core/symbolic_cache.h"
 #include "gen/suite.h"
 #include "util/timer.h"
 
 using namespace sympiler;
+
+namespace {
+
+struct ProblemRow {
+  int id = 0;
+  std::string name;
+  double sym_cold = 0.0;
+  double sym_warm = 0.0;
+  double numeric = 0.0;
+};
+
+struct ContentionRow {
+  int threads = 0;
+  double sharded_mlps = 0.0;  ///< million lookups per second
+  double single_mlps = 0.0;
+};
+
+core::PatternKey synthetic_key(int variant) {
+  core::PatternKey k;
+  k.rows = k.cols = 1000;
+  k.nnz = 5000;
+  k.structure_hash = 0x5eed0000ULL + static_cast<std::uint64_t>(variant);
+  k.structure_hash2 = ~k.structure_hash * 0x9e3779b97f4a7c15ULL;
+  return k;
+}
+
+/// Warm-lookup throughput: `threads` workers each doing `iters` find()s of
+/// resident keys. Returns million lookups per second.
+double lookup_throughput(core::CholeskyCache& cache,
+                         const std::vector<core::PatternKey>& keys,
+                         int threads, int iters) {
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> misses{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {}
+      std::uint64_t local_misses = 0;
+      for (int i = 0; i < iters; ++i) {
+        const auto& key = keys[static_cast<std::size_t>(
+            (t * 31 + i) % static_cast<int>(keys.size()))];
+        if (!cache.find(key).hit) ++local_misses;
+      }
+      misses.fetch_add(local_misses);
+    });
+  }
+  while (ready.load() != threads) {}
+  Timer timer;
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : workers) w.join();
+  const double seconds = timer.seconds();
+  if (misses.load() != 0) std::printf("!! warm contention lookups missed\n");
+  return static_cast<double>(threads) * iters / seconds / 1e6;
+}
+
+std::vector<ContentionRow> run_contention() {
+  constexpr int kPatterns = 64;
+  constexpr int kIters = 200000;
+  core::CholeskyCache sharded;  // default geometry: mutex-striped shards
+  core::CholeskyCache single(core::CholeskyCache::kDefaultByteBudget,
+                             /*shards=*/1);  // the PR-1 single-mutex shape
+  std::vector<core::PatternKey> keys;
+  keys.reserve(kPatterns);
+  for (int v = 0; v < kPatterns; ++v) {
+    keys.push_back(synthetic_key(v));
+    auto plan = std::make_shared<const core::CholeskyPlan>();
+    (void)sharded.insert(keys.back(), plan);
+    (void)single.insert(keys.back(), plan);
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf(
+      "\nWarm-lookup contention: sharded (%zu shards) vs single-mutex "
+      "(%u hardware threads)\n",
+      sharded.shard_count(), hw);
+  if (hw < 4)
+    std::printf(
+        "  note: threads are oversubscribed on this machine; lock "
+        "contention (what sharding removes) cannot materialize, so expect "
+        "parity, not speedup.\n");
+  bench::print_rule(60);
+  std::printf("%8s | %16s %16s | %8s\n", "threads", "sharded (Ml/s)",
+              "1-mutex (Ml/s)", "ratio");
+  bench::print_rule(60);
+  std::vector<ContentionRow> rows;
+  for (const int threads : {1, 4, 8}) {
+    ContentionRow row;
+    row.threads = threads;
+    // Interleaved best-of-3: keeps thermal/scheduler drift symmetric and
+    // reports capability, not noise.
+    for (int rep = 0; rep < 3; ++rep) {
+      row.sharded_mlps = std::max(
+          row.sharded_mlps, lookup_throughput(sharded, keys, threads, kIters));
+      row.single_mlps = std::max(
+          row.single_mlps, lookup_throughput(single, keys, threads, kIters));
+    }
+    std::printf("%8d | %16.2f %16.2f | %7.2fx\n", threads, row.sharded_mlps,
+                row.single_mlps,
+                row.single_mlps > 0.0 ? row.sharded_mlps / row.single_mlps
+                                      : 0.0);
+    rows.push_back(row);
+  }
+  bench::print_rule(60);
+  return rows;
+}
+
+void write_json(const std::vector<ProblemRow>& problems,
+                const std::vector<ContentionRow>& contention) {
+  std::FILE* f = std::fopen("BENCH_cache.json", "w");
+  if (f == nullptr) {
+    std::printf("!! could not open BENCH_cache.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"cache_reuse\",\n  \"problems\": [\n");
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const ProblemRow& p = problems[i];
+    std::fprintf(f,
+                 "    {\"id\": %d, \"name\": \"%s\", \"sym_cold_s\": %.6e, "
+                 "\"sym_warm_s\": %.6e, \"numeric_s\": %.6e}%s\n",
+                 p.id, p.name.c_str(), p.sym_cold, p.sym_warm, p.numeric,
+                 i + 1 < problems.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"warm_lookup_contention\": [\n");
+  for (std::size_t i = 0; i < contention.size(); ++i) {
+    const ContentionRow& c = contention[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"sharded_mlookups_per_s\": %.3f, "
+                 "\"single_mutex_mlookups_per_s\": %.3f}%s\n",
+                 c.threads, c.sharded_mlps, c.single_mlps,
+                 i + 1 < contention.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_cache.json\n");
+}
+
+}  // namespace
 
 int main() {
   std::printf("Symbolic cache reuse: warm-pattern solves drop the inspector\n");
@@ -32,6 +186,7 @@ int main() {
   bench::print_rule(118);
 
   std::vector<double> amortized;
+  std::vector<ProblemRow> rows;
   for (const auto& spec : gen::suite()) {
     const CscMatrix a = spec.make();
     auto context = std::make_shared<api::SymbolicContext>();
@@ -66,10 +221,11 @@ int main() {
     }
     const CacheStats stats = context->cholesky_cache().stats();
 
-    // The warm path's entire symbolic phase: hash the pattern key, hit the
+    // The warm path's entire symbolic phase: hash the plan key, hit the
     // cache. Timed directly — this is the "inspector time" of a warm solve.
+    const core::Planner planner(api::SolverConfig{}.planner_config());
     const double sym_warm = bench::bench_seconds([&] {
-      const core::PatternKey key = core::cholesky_pattern_key(a, {});
+      const core::PatternKey key = planner.cholesky_key(a);
       auto hit = context->cholesky_cache().find(key);
       if (!hit.hit) std::printf("!! warm lookup missed\n");
     });
@@ -82,11 +238,16 @@ int main() {
     std::fflush(stdout);
     if (sym_cold > 0.0 && sym_warm >= 0.0 && t_numeric > 0.0)
       amortized.push_back(sym_warm / t_numeric);
+    rows.push_back(
+        {spec.id, spec.paper_name, sym_cold, sym_warm, t_numeric});
   }
   bench::print_rule(118);
   std::printf(
       "geomean warm symbolic cost: %.2f%% of one numeric factorization "
-      "(cold inspection is eliminated on every repeat).\n",
+      "(cold planning is eliminated on every repeat).\n",
       geomean(amortized) * 100.0);
+
+  const std::vector<ContentionRow> contention = run_contention();
+  write_json(rows, contention);
   return 0;
 }

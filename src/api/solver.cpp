@@ -2,19 +2,10 @@
 
 #include <utility>
 
-#include "core/inspector.h"
+#include "parallel/levelset.h"
 #include "solvers/supernodal.h"
 
 namespace sympiler::api {
-
-const char* to_string(ExecutionPath path) {
-  switch (path) {
-    case ExecutionPath::Simplicial: return "simplicial";
-    case ExecutionPath::Supernodal: return "supernodal";
-    case ExecutionPath::ParallelSupernodal: return "parallel-supernodal";
-  }
-  return "?";
-}
 
 std::shared_ptr<SymbolicContext> SymbolicContext::global() {
   static const std::shared_ptr<SymbolicContext> instance =
@@ -28,7 +19,7 @@ Solver::Solver(SolverConfig config, std::shared_ptr<SymbolicContext> context)
     : config_(config),
       context_(context ? std::move(context)
                        : std::make_shared<SymbolicContext>(
-                             config.cache_capacity)) {}
+                             config.cache_byte_budget, config.cache_shards)) {}
 
 void Solver::factor(const CscMatrix& a_lower) {
   SYMPILER_CHECK(a_lower.rows() == a_lower.cols(),
@@ -37,8 +28,10 @@ void Solver::factor(const CscMatrix& a_lower) {
   // leave a half-overwritten factor reachable through solve().
   factorized_ = false;
   prepare_symbolic(a_lower);
-  if (path_ == ExecutionPath::ParallelSupernodal) {
-    parallel::parallel_cholesky(*sets_, schedule_, a_lower, panels_);
+  // Thin dispatch on the plan's path — every decision was made at plan
+  // time and cached with the plan.
+  if (plan_->path == ExecutionPath::ParallelSupernodal) {
+    parallel::parallel_cholesky(*plan_, a_lower, panels_);
   } else {
     executor_->factorize(a_lower);
   }
@@ -46,69 +39,42 @@ void Solver::factor(const CscMatrix& a_lower) {
 }
 
 void Solver::prepare_symbolic(const CscMatrix& a_lower) {
-  const core::PatternKey key =
-      core::cholesky_pattern_key(a_lower, config_.options);
+  const core::Planner planner(config_.planner_config());
+  const core::PatternKey key = planner.cholesky_key(a_lower);
   if (has_key_ && key == key_) {
-    // Same pattern: the standing symbolic state serves this factor with no
-    // inspection at all — report it as cached reuse.
+    // Same pattern: the standing plan serves this factor with no symbolic
+    // work at all — report it as cached reuse.
     symbolic_cached_ = true;
     return;
   }
 
   auto lookup = context_->cholesky_cache().get_or_build(
-      key, [&] { return core::inspect_cholesky(a_lower, config_.options); });
+      key, [&] { return planner.plan_cholesky(a_lower); });
   key_ = key;
   has_key_ = true;
   symbolic_cached_ = lookup.hit;
-  sets_ = std::move(lookup.sets);
+  plan_ = std::move(lookup.plan);
   factorized_ = false;
 
-  if (!sets_->vs_block_profitable) {
-    path_ = ExecutionPath::Simplicial;
-  } else {
-    path_ = ExecutionPath::Supernodal;
-    if (config_.enable_parallel && parallel_profitable()) {
-      // The level schedule is cheap relative to inspection (one pass over
-      // the supernodal forest) and is memoized per pattern by this Solver.
-      schedule_ = parallel::level_schedule_supernodes(sets_->blocks,
-                                                      sets_->sym.parent);
-      const index_t levels = schedule_.levels();
-      const double avg_width =
-          levels > 0 ? static_cast<double>(sets_->layout.nsuper()) / levels
-                     : 0.0;
-      if (avg_width >= config_.parallel_min_avg_level_width)
-        path_ = ExecutionPath::ParallelSupernodal;
-    }
-  }
-
-  if (path_ == ExecutionPath::ParallelSupernodal) {
-    panels_.assign(static_cast<std::size_t>(sets_->layout.total_values()),
-                   0.0);
+  if (plan_->path == ExecutionPath::ParallelSupernodal) {
+    panels_.assign(
+        static_cast<std::size_t>(plan_->sets.layout.total_values()), 0.0);
     executor_.reset();
   } else {
-    executor_ =
-        std::make_unique<core::CholeskyExecutor>(sets_, config_.options);
+    executor_ = std::make_unique<core::CholeskyExecutor>(plan_);
     panels_.clear();
     panels_.shrink_to_fit();
   }
 }
 
-bool Solver::parallel_profitable() const {
-#ifdef SYMPILER_HAS_OPENMP
-  return sets_->layout.nsuper() >= config_.parallel_min_supernodes;
-#else
-  return false;  // level-set execution degenerates to sequential + barriers
-#endif
-}
-
 void Solver::solve(std::span<value_t> bx) const {
   SYMPILER_CHECK(factorized_, "solver: solve() before factor()");
   SYMPILER_CHECK(static_cast<index_t>(bx.size()) ==
-                     static_cast<index_t>(sets_->sym.parent.size()),
+                     static_cast<index_t>(plan_->sets.sym.parent.size()),
                  "solver: RHS size mismatch");
-  if (path_ == ExecutionPath::ParallelSupernodal) {
-    solvers::panel_forward_solve(sets_->layout, panels_, bx);
-    solvers::panel_backward_solve(sets_->layout, panels_, bx);
+  if (plan_->path == ExecutionPath::ParallelSupernodal) {
+    solvers::panel_forward_solve(plan_->sets.layout, panels_, bx);
+    solvers::panel_backward_solve(plan_->sets.layout, panels_, bx);
   } else {
     executor_->solve(bx);
   }
@@ -117,7 +83,7 @@ void Solver::solve(std::span<value_t> bx) const {
 void Solver::solve_batch(std::span<value_t> bx, index_t nrhs) const {
   SYMPILER_CHECK(factorized_, "solver: solve_batch() before factor()");
   SYMPILER_CHECK(nrhs >= 0, "solver: negative RHS count");
-  const std::size_t n = sets_->sym.parent.size();
+  const std::size_t n = plan_->sets.sym.parent.size();
   SYMPILER_CHECK(bx.size() == n * static_cast<std::size_t>(nrhs),
                  "solver: batch size mismatch");
   // RHS columns are independent; every solve path reads only immutable
@@ -133,7 +99,7 @@ void Solver::solve_batch(std::span<value_t> bx, index_t nrhs) const {
 void Solver::solve_batch(std::vector<std::vector<value_t>>& rhs) const {
   SYMPILER_CHECK(factorized_, "solver: solve_batch() before factor()");
   for (const std::vector<value_t>& r : rhs)
-    SYMPILER_CHECK(r.size() == sets_->sym.parent.size(),
+    SYMPILER_CHECK(r.size() == plan_->sets.sym.parent.size(),
                    "solver: RHS size mismatch");
 #ifdef SYMPILER_HAS_OPENMP
 #pragma omp parallel for schedule(dynamic)
@@ -144,14 +110,14 @@ void Solver::solve_batch(std::vector<std::vector<value_t>>& rhs) const {
 
 CscMatrix Solver::factor_csc() const {
   SYMPILER_CHECK(factorized_, "solver: factor_csc() before factor()");
-  if (path_ == ExecutionPath::ParallelSupernodal)
-    return solvers::panels_to_csc(sets_->layout, panels_);
+  if (plan_->path == ExecutionPath::ParallelSupernodal)
+    return solvers::panels_to_csc(plan_->sets.layout, panels_);
   return executor_->factor_csc();
 }
 
-const core::CholeskySets& Solver::sets() const {
-  SYMPILER_CHECK(sets_ != nullptr, "solver: sets() before factor()");
-  return *sets_;
+const std::shared_ptr<const core::CholeskyPlan>& Solver::plan() const {
+  SYMPILER_CHECK(plan_ != nullptr, "solver: plan() before factor()");
+  return plan_;
 }
 
 CacheStats Solver::cache_stats() const {
@@ -162,16 +128,16 @@ CacheStats Solver::cache_stats() const {
 
 namespace {
 
-std::shared_ptr<const core::TriSolveSets> lookup_trisolve_sets(
+std::shared_ptr<const core::TriSolvePlan> lookup_trisolve_plan(
     const CscMatrix& l, std::span<const index_t> beta,
     const SolverConfig& config, SymbolicContext& context,
     bool& symbolic_cached) {
-  const core::PatternKey key =
-      core::trisolve_pattern_key(l, beta, config.options);
+  const core::Planner planner(config.planner_config());
   auto lookup = context.trisolve_cache().get_or_build(
-      key, [&] { return core::inspect_trisolve(l, beta, config.options); });
+      planner.trisolve_key(l, beta),
+      [&] { return planner.plan_trisolve(l, beta); });
   symbolic_cached = lookup.hit;
-  return std::move(lookup.sets);
+  return std::move(lookup.plan);
 }
 
 }  // namespace
@@ -182,11 +148,22 @@ TriangularSolver::TriangularSolver(const CscMatrix& l,
                                    std::shared_ptr<SymbolicContext> context)
     : context_(context ? std::move(context)
                        : std::make_shared<SymbolicContext>(
-                             config.cache_capacity)),
+                             config.cache_byte_budget, config.cache_shards)),
+      l_(&l),
       n_(l.cols()),
-      executor_(lookup_trisolve_sets(l, beta, config, *context_,
+      executor_(lookup_trisolve_plan(l, beta, config, *context_,
                                      symbolic_cached_),
-                l, config.options) {}
+                l) {}
+
+void TriangularSolver::solve(std::span<value_t> x) const {
+  SYMPILER_CHECK(static_cast<index_t>(x.size()) == n_,
+                 "triangular solver: size mismatch");
+  if (executor_.plan().path == ExecutionPath::ParallelTriSolve) {
+    parallel::parallel_trisolve(*l_, executor_.plan(), x);
+  } else {
+    executor_.solve(x);
+  }
+}
 
 void TriangularSolver::solve_batch(std::span<value_t> xs, index_t nrhs) const {
   SYMPILER_CHECK(nrhs >= 0, "triangular solver: negative RHS count");
@@ -196,7 +173,7 @@ void TriangularSolver::solve_batch(std::span<value_t> xs, index_t nrhs) const {
   // TriSolveExecutor::solve shares a mutable gather buffer; the batch runs
   // sequentially (the executor is not one-solver-many-threads safe).
   for (index_t r = 0; r < nrhs; ++r)
-    executor_.solve(xs.subspan(static_cast<std::size_t>(r) * n, n));
+    solve(xs.subspan(static_cast<std::size_t>(r) * n, n));
 }
 
 CacheStats TriangularSolver::cache_stats() const {

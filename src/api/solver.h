@@ -1,15 +1,18 @@
 // Public facade over the Sympiler pipeline: every solve enters through
-// here, and every symbolic inspection is looked up in a pattern-keyed
-// SymbolicCache before it is run.
+// here, and every symbolic product is looked up in the sharded plan cache
+// before any planning runs.
 //
-// The paper's decoupling makes inspection a pure function of the sparsity
-// pattern; this layer turns that into operational leverage for services
-// that solve many systems with recurring patterns (FEM Newton steps,
-// circuit transients): the first factor() of a pattern pays the inspector,
-// every later factor() of the same pattern — from this Solver or any other
-// sharing the context — is numeric-only. The cache holds
-// shared_ptr<const Sets>, so cached sets outlive any one matrix or Solver
-// instance.
+// The paper's decoupling makes the entire structure-specific strategy a
+// pure function of the sparsity pattern: inspection sets, the level-set
+// schedule, and the execution-path choice are bundled by core::Planner
+// into one immutable core::ExecutionPlan. This layer turns that into
+// operational leverage for services that solve many systems with
+// recurring patterns (FEM Newton steps, circuit transients): the first
+// factor() of a pattern pays the Planner, every later factor() of the
+// same pattern — from this Solver or any other sharing the context — is
+// numeric-only, schedule-free included. The cache holds
+// shared_ptr<const Plan>, so cached plans outlive any one matrix or
+// Solver instance; Solver itself is a thin dispatch on plan->path.
 #pragma once
 
 #include <memory>
@@ -17,32 +20,28 @@
 #include <vector>
 
 #include "core/cholesky_executor.h"
+#include "core/execution_plan.h"
 #include "core/options.h"
+#include "core/planner.h"
 #include "core/symbolic_cache.h"
 #include "core/trisolve_executor.h"
-#include "parallel/levelset.h"
 #include "sparse/csc.h"
 #include "util/common.h"
 #include "util/stats.h"
 
 namespace sympiler::api {
 
-/// Which numeric path a factor() ended up on. Chosen from the cached sets'
-/// profitability fields, not rediscovered per call.
-enum class ExecutionPath {
-  Simplicial,          ///< VI-Prune-only left-looking (VS-Block unprofitable)
-  Supernodal,          ///< sequential supernodal executor
-  ParallelSupernodal,  ///< level-set parallel supernodal (OpenMP builds)
-};
+/// Numeric path of a plan (see core/execution_plan.h). Re-exported: the
+/// facade's callers dispatch and report on it.
+using core::ExecutionPath;
+using core::to_string;
 
-[[nodiscard]] const char* to_string(ExecutionPath path);
-
-/// Facade configuration: the inspection options plus the knobs that steer
-/// the numeric-path choice.
+/// Facade configuration: the planner inputs plus the cache geometry a
+/// Solver uses when it creates a private context.
 struct SolverConfig {
   core::SympilerOptions options;
 
-  /// Allow the level-set parallel Cholesky when it looks profitable.
+  /// Allow the level-set parallel paths when they look profitable.
   /// Meaningless (always sequential) without SYMPILER_HAS_OPENMP.
   bool enable_parallel = true;
   /// Parallel profitability gates: enough supernodes to schedule, and wide
@@ -50,21 +49,33 @@ struct SolverConfig {
   index_t parallel_min_supernodes = 256;
   double parallel_min_avg_level_width = 8.0;
 
-  /// Capacity of the private SymbolicContext a Solver creates when it is
-  /// constructed with an explicitly null context. Ignored on the default
-  /// path (sharing SymbolicContext::global() or a caller-supplied context,
-  /// whose capacity was fixed at that context's construction).
-  std::size_t cache_capacity = core::CholeskyCache::kDefaultCapacity;
+  /// Byte budget and shard count of the private SymbolicContext a Solver
+  /// creates when it is constructed with an explicitly null context.
+  /// Ignored on the default path (sharing SymbolicContext::global() or a
+  /// caller-supplied context, whose geometry was fixed at construction).
+  std::size_t cache_byte_budget = core::CholeskyCache::kDefaultByteBudget;
+  std::size_t cache_shards = core::CholeskyCache::kDefaultShards;
+
+  /// Planner view of this config.
+  [[nodiscard]] core::PlannerConfig planner_config() const {
+    core::PlannerConfig pc;
+    pc.options = options;
+    pc.enable_parallel = enable_parallel;
+    pc.parallel_min_supernodes = parallel_min_supernodes;
+    pc.parallel_min_avg_level_width = parallel_min_avg_level_width;
+    return pc;
+  }
 };
 
-/// A bundle of the two symbolic caches. Solvers sharing a context share
-/// inspection results; the process-wide default context makes that the
-/// out-of-the-box behavior.
+/// A bundle of the two plan caches. Solvers sharing a context share whole
+/// execution plans — sets, schedule, and path; the process-wide default
+/// context makes that the out-of-the-box behavior.
 class SymbolicContext {
  public:
   explicit SymbolicContext(
-      std::size_t capacity = core::CholeskyCache::kDefaultCapacity)
-      : cholesky_(capacity), trisolve_(capacity) {}
+      std::size_t byte_budget = core::CholeskyCache::kDefaultByteBudget,
+      std::size_t shards = core::CholeskyCache::kDefaultShards)
+      : cholesky_(byte_budget, shards), trisolve_(byte_budget, shards) {}
 
   [[nodiscard]] core::CholeskyCache& cholesky_cache() { return cholesky_; }
   [[nodiscard]] core::TriSolveCache& trisolve_cache() { return trisolve_; }
@@ -79,7 +90,7 @@ class SymbolicContext {
 };
 
 /// SPD solver facade: factor() + solve()/solve_batch() with cached
-/// symbolic analysis. One Solver holds one factorization at a time;
+/// execution plans. One Solver holds one factorization at a time;
 /// factor() with a new pattern re-routes automatically (and usually still
 /// hits the cache if the pattern recurred).
 class Solver {
@@ -88,9 +99,10 @@ class Solver {
                   std::shared_ptr<SymbolicContext> context =
                       SymbolicContext::global());
 
-  /// Symbolic (cache lookup, inspect on miss) + numeric factorization of
+  /// Symbolic (plan-cache lookup, plan on miss) + numeric factorization of
   /// the lower triangle of an SPD matrix. Repeated calls with the same
-  /// pattern skip every symbolic step except the O(nnz) key hash.
+  /// pattern skip every symbolic step — inspection AND scheduling — except
+  /// the O(nnz) key hash.
   void factor(const CscMatrix& a_lower);
 
   /// Solve A x = b in place (requires factor()).
@@ -107,15 +119,18 @@ class Solver {
   /// Extract L as CSC (requires factor()).
   [[nodiscard]] CscMatrix factor_csc() const;
 
-  /// True when the last factor() ran no inspection: its symbolic phase was
+  /// True when the last factor() ran no planning: its symbolic phase was
   /// served from the cache or from this Solver's standing same-pattern
   /// state.
   [[nodiscard]] bool symbolic_cached() const { return symbolic_cached_; }
   /// Numeric path the last factor() ran (valid after factor()).
-  [[nodiscard]] ExecutionPath path() const { return path_; }
+  [[nodiscard]] ExecutionPath path() const { return plan()->path; }
+  /// The execution plan backing the current factorization. Pointer
+  /// identity across Solvers proves shared symbolic state.
+  [[nodiscard]] const std::shared_ptr<const core::CholeskyPlan>& plan() const;
   /// Inspection sets backing the current factorization.
-  [[nodiscard]] const core::CholeskySets& sets() const;
-  /// Counters of the underlying Cholesky cache.
+  [[nodiscard]] const core::CholeskySets& sets() const { return plan()->sets; }
+  /// Aggregated counters of the underlying Cholesky plan cache.
   [[nodiscard]] CacheStats cache_stats() const;
   [[nodiscard]] const std::shared_ptr<SymbolicContext>& context() const {
     return context_;
@@ -123,7 +138,6 @@ class Solver {
 
  private:
   void prepare_symbolic(const CscMatrix& a_lower);
-  [[nodiscard]] bool parallel_profitable() const;
 
   SolverConfig config_;
   std::shared_ptr<SymbolicContext> context_;
@@ -131,21 +145,19 @@ class Solver {
   core::PatternKey key_;  ///< key of the current symbolic state
   bool has_key_ = false;
   bool symbolic_cached_ = false;
-  ExecutionPath path_ = ExecutionPath::Simplicial;
-  std::shared_ptr<const core::CholeskySets> sets_;
+  std::shared_ptr<const core::CholeskyPlan> plan_;
 
-  // Sequential paths run through the executor; the parallel path factors
-  // into panels_ directly with the level schedule.
+  // Sequential paths run through the executor; the parallel path
+  // interprets the plan's level schedule into panels_ directly.
   std::unique_ptr<core::CholeskyExecutor> executor_;
-  parallel::LevelSchedule schedule_;
   std::vector<value_t> panels_;
   bool factorized_ = false;
 };
 
 /// Triangular-solve facade: the Lx = b pipeline (paper Figure 1) with the
-/// reach/block sets cached per (pattern of L, pattern of b). `l` is
-/// borrowed and must outlive the TriangularSolver; the sets are shared
-/// with the cache and outlive both.
+/// whole plan cached per (pattern of L, pattern of b). `l` is borrowed
+/// and must outlive the TriangularSolver; the plan is shared with the
+/// cache and outlives both.
 class TriangularSolver {
  public:
   TriangularSolver(const CscMatrix& l, std::span<const index_t> beta,
@@ -153,13 +165,19 @@ class TriangularSolver {
                    std::shared_ptr<SymbolicContext> context =
                        SymbolicContext::global());
 
-  /// Numeric solve: x holds b on entry, the solution on exit.
-  void solve(std::span<value_t> x) const { executor_.solve(x); }
+  /// Numeric solve: x holds b on entry, the solution on exit. Thin
+  /// dispatch on plan->path (the ParallelTriSolve path is only planned
+  /// for dense RHS patterns under OpenMP builds).
+  void solve(std::span<value_t> x) const;
 
-  /// Multi-RHS variant; every column must carry the inspected pattern.
+  /// Multi-RHS variant; every column must carry the planned pattern.
   void solve_batch(std::span<value_t> xs, index_t nrhs) const;
 
   [[nodiscard]] bool symbolic_cached() const { return symbolic_cached_; }
+  [[nodiscard]] ExecutionPath path() const { return executor_.plan().path; }
+  [[nodiscard]] const std::shared_ptr<const core::TriSolvePlan>& plan() const {
+    return executor_.plan_ptr();
+  }
   [[nodiscard]] const core::TriSolveSets& sets() const {
     return executor_.sets();
   }
@@ -167,6 +185,7 @@ class TriangularSolver {
 
  private:
   std::shared_ptr<SymbolicContext> context_;
+  const CscMatrix* l_;
   index_t n_ = 0;
   bool symbolic_cached_ = false;
   core::TriSolveExecutor executor_;

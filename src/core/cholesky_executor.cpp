@@ -4,23 +4,37 @@
 #include <cmath>
 
 #include "blas/kernels.h"
+#include "core/planner.h"
 #include "solvers/trisolve.h"
 
 namespace sympiler::core {
 
+namespace {
+
+std::shared_ptr<const CholeskyPlan> plan_sequential(const CscMatrix& a_lower,
+                                                    SympilerOptions opt) {
+  PlannerConfig config;
+  config.options = opt;
+  config.enable_parallel = false;  // direct executors interpret sequentially
+  // No cache involved, so skip stamping the key (O(nnz) hashing).
+  return std::make_shared<const CholeskyPlan>(
+      Planner(config).plan_cholesky(a_lower, /*with_key=*/false));
+}
+
+}  // namespace
+
 CholeskyExecutor::CholeskyExecutor(const CscMatrix& a_lower,
                                    SympilerOptions opt)
-    : CholeskyExecutor(std::make_shared<const CholeskySets>(
-                           inspect_cholesky(a_lower, opt)),
-                       opt) {}
+    : CholeskyExecutor(plan_sequential(a_lower, opt)) {}
 
-CholeskyExecutor::CholeskyExecutor(std::shared_ptr<const CholeskySets> sets,
-                                   SympilerOptions opt)
-    : opt_(opt), sets_(std::move(sets)) {
-  SYMPILER_CHECK(sets_ != nullptr, "cholesky executor: null inspection sets");
+CholeskyExecutor::CholeskyExecutor(std::shared_ptr<const CholeskyPlan> plan)
+    : plan_(std::move(plan)) {
+  SYMPILER_CHECK(plan_ != nullptr, "cholesky executor: null plan");
+  sets_ = &plan_->sets;
+  const SympilerOptions& opt = plan_->options;
   specialized_ =
-      opt_.low_level && sets_->avg_colcount < opt_.blas_switch_colcount;
-  if (sets_->vs_block_profitable) {
+      opt.low_level && sets_->avg_colcount < opt.blas_switch_colcount;
+  if (vs_block_applied()) {
     panels_.resize(static_cast<std::size_t>(sets_->layout.total_values()));
     index_t max_m = 0, max_w = 0;
     for (index_t s = 0; s < sets_->layout.nsuper(); ++s) {
@@ -35,7 +49,8 @@ CholeskyExecutor::CholeskyExecutor(std::shared_ptr<const CholeskySets> sets,
 }
 
 void CholeskyExecutor::factorize(const CscMatrix& a_lower) {
-  if (sets_->vs_block_profitable) {
+  // Pure plan dispatch: the path was decided at plan time.
+  if (vs_block_applied()) {
     factorize_supernodal(a_lower);
   } else {
     factorize_simplicial(a_lower);
@@ -156,7 +171,7 @@ void CholeskyExecutor::factorize_simplicial(const CscMatrix& a_lower) {
 
 void CholeskyExecutor::solve(std::span<value_t> bx) const {
   SYMPILER_CHECK(factorized_, "solve() before factorize()");
-  if (sets_->vs_block_profitable) {
+  if (vs_block_applied()) {
     panel_forward_solve(sets_->layout, panels_, bx);
     panel_backward_solve(sets_->layout, panels_, bx);
   } else {
@@ -167,7 +182,7 @@ void CholeskyExecutor::solve(std::span<value_t> bx) const {
 
 CscMatrix CholeskyExecutor::factor_csc() const {
   SYMPILER_CHECK(factorized_, "factor_csc() before factorize()");
-  if (sets_->vs_block_profitable)
+  if (vs_block_applied())
     return panels_to_csc(sets_->layout, panels_);
   return l_;
 }

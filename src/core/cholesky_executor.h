@@ -1,27 +1,29 @@
 // Sympiler Cholesky executor: numeric-only left-looking factorization
-// driven entirely by precomputed inspection sets.
+// driven entirely by a precomputed ExecutionPlan.
 //
 // Differences from the library baselines (what "fully decoupled" buys,
 // paper section 4.2):
 //  * no transpose of A in the numeric phase — the prune-sets (row
-//    patterns) were computed by the inspector;
+//    patterns) were computed by the Planner;
 //  * no reach/ereach traversals at numeric time — the supernodal update
 //    schedule is a static list;
+//  * no path decisions at numeric time — the plan already committed to
+//    simplicial vs supernodal from its profitability evidence;
 //  * specialized small dense kernels (unrolled potrf/trsv) and peeled
 //    single-column supernodes when the low-level transformations are on,
 //    with the column-count heuristic switching to the generic blocked
 //    ("BLAS") kernels for large panels.
 //
-// When VS-Block does not pass its profitability threshold the executor
-// runs the VI-Prune-only simplicial code (the paper's Figure 7 baseline:
-// "The VI-Prune transformation is already applied to the baseline code").
+// A plan whose path is ParallelSupernodal is interpreted sequentially here
+// (the sets and layout are identical); parallel::parallel_cholesky is its
+// parallel interpreter.
 #pragma once
 
 #include <memory>
 #include <span>
 #include <vector>
 
-#include "core/inspector.h"
+#include "core/execution_plan.h"
 #include "core/options.h"
 #include "sparse/csc.h"
 #include "util/common.h"
@@ -30,18 +32,17 @@ namespace sympiler::core {
 
 class CholeskyExecutor {
  public:
-  /// Full symbolic inspection ("compile time"); pattern is fixed after.
+  /// Convenience: plan on the spot ("compile time"), sequential paths
+  /// only. Pattern is fixed after.
   explicit CholeskyExecutor(const CscMatrix& a_lower, SympilerOptions opt = {});
 
-  /// Numeric-only construction from precomputed (typically cached) sets:
-  /// no symbolic work happens here. `sets` must have been produced by
-  /// inspect_cholesky on the pattern of the matrices later passed to
-  /// factorize(), with options equivalent to `opt` — the SymbolicCache key
-  /// guarantees this.
-  CholeskyExecutor(std::shared_ptr<const CholeskySets> sets,
-                   SympilerOptions opt = {});
+  /// Pure interpreter over a precomputed (typically cached) plan: no
+  /// symbolic work, no decisions. `plan` must have been produced by
+  /// core::Planner on the pattern of the matrices later passed to
+  /// factorize() — the plan cache key guarantees this.
+  explicit CholeskyExecutor(std::shared_ptr<const CholeskyPlan> plan);
 
-  /// Numeric factorization of a matrix with the inspected pattern.
+  /// Numeric factorization of a matrix with the planned pattern.
   void factorize(const CscMatrix& a_lower);
 
   /// Solve A x = b in place (requires factorize()).
@@ -50,21 +51,25 @@ class CholeskyExecutor {
   /// Extract L as CSC (for inspection and the triangular-solve pipeline).
   [[nodiscard]] CscMatrix factor_csc() const;
 
-  [[nodiscard]] const CholeskySets& sets() const { return *sets_; }
+  [[nodiscard]] const CholeskyPlan& plan() const { return *plan_; }
+  [[nodiscard]] const std::shared_ptr<const CholeskyPlan>& plan_ptr() const {
+    return plan_;
+  }
+  [[nodiscard]] const CholeskySets& sets() const { return plan_->sets; }
   [[nodiscard]] bool vs_block_applied() const {
-    return sets_->vs_block_profitable;
+    return plan_->path != ExecutionPath::Simplicial;
   }
   /// True when the generated small kernels are used instead of the generic
   /// blocked routines (the paper's column-count BLAS switch).
   [[nodiscard]] bool specialized_kernels() const { return specialized_; }
-  [[nodiscard]] double flops() const { return sets_->flops(); }
+  [[nodiscard]] double flops() const { return plan_->sets.flops(); }
 
  private:
   void factorize_supernodal(const CscMatrix& a_lower);
   void factorize_simplicial(const CscMatrix& a_lower);
 
-  SympilerOptions opt_;
-  std::shared_ptr<const CholeskySets> sets_;  ///< shared with the cache
+  std::shared_ptr<const CholeskyPlan> plan_;  ///< shared with the cache
+  const CholeskySets* sets_ = nullptr;        ///< &plan_->sets
   bool specialized_ = false;
   std::vector<value_t> panels_;  ///< supernodal factor storage
   CscMatrix l_;                  ///< simplicial factor storage

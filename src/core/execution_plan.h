@@ -1,0 +1,94 @@
+// ExecutionPlan: the complete structure-specific strategy for one sparse
+// kernel, as a single immutable artifact.
+//
+// The paper's decoupling makes symbolic analysis a pure function of the
+// sparsity pattern — but the inspection sets are only part of what that
+// function produces. The level-set schedule and the choice of numeric
+// path (simplicial vs supernodal vs parallel) are equally pattern-pure,
+// so they belong in the same compile-time product. A plan bundles all of
+// it: inspection sets, schedule, the chosen ExecutionPath, the
+// profitability evidence that picked it, the options snapshot it was
+// planned under, and a bytes() accounting that drives the plan cache's
+// byte-budget eviction.
+//
+// Plans are built by core::Planner (planner.h), cached by the sharded
+// PlanCache (symbolic_cache.h) as shared_ptr<const Plan>, and interpreted
+// by the executors — which do no symbolic work and make no decisions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/inspector.h"
+#include "core/options.h"
+#include "core/pattern_key.h"
+#include "parallel/levelset.h"
+
+namespace sympiler::core {
+
+/// Numeric interpreter a plan selects. Chosen once at plan time from the
+/// profitability evidence; executors dispatch on it without rediscovery.
+enum class ExecutionPath {
+  Simplicial,          ///< VI-Prune-only left-looking (VS-Block unprofitable)
+  Supernodal,          ///< sequential supernodal Cholesky executor
+  ParallelSupernodal,  ///< level-set parallel supernodal (OpenMP builds)
+  PrunedTriSolve,      ///< reach-set column solve (VS-Block unprofitable)
+  BlockedTriSolve,     ///< VS-Block supernodal triangular solve
+  ParallelTriSolve,    ///< level-set parallel column solve (dense RHS)
+};
+
+[[nodiscard]] const char* to_string(ExecutionPath path);
+
+/// Why the Planner picked the path it picked — kept in the plan so the
+/// decision is auditable (sympiler_cli --explain) and so cache eviction
+/// can weigh recompute cost.
+struct PlanEvidence {
+  bool vs_block_profitable = false;   ///< inspection profitability gate
+  bool parallel_considered = false;   ///< parallel gates were evaluated
+  double avg_supernode_size = 0.0;    ///< rows, participating supernodes
+  index_t supernodes = 0;             ///< block-set size
+  index_t levels = 0;                 ///< level-set depth (0 = no schedule)
+  double avg_level_width = 0.0;       ///< items per level
+  double build_seconds = 0.0;         ///< wall time spent planning (cost to
+                                      ///< recompute; weighs eviction)
+};
+
+/// Plan for sparse Cholesky A = L L^T over one sparsity pattern.
+struct CholeskyPlan {
+  PatternKey key;                    ///< identity of (pattern, config)
+  SympilerOptions options;           ///< snapshot the plan was built under
+  CholeskySets sets;                 ///< inspection sets (owned)
+  parallel::LevelSchedule schedule;  ///< supernode levels; empty unless
+                                     ///< path == ParallelSupernodal
+  ExecutionPath path = ExecutionPath::Simplicial;
+  PlanEvidence evidence;
+
+  /// Total heap footprint of the artifact — the plan cache's eviction
+  /// weight (entries are weighed by bytes, not counted).
+  [[nodiscard]] std::size_t bytes() const {
+    return sizeof(CholeskyPlan) + sets.bytes() + schedule.bytes();
+  }
+
+  /// One-paragraph human summary (CLI --explain).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Plan for sparse triangular solve L x = b over one (pattern of L,
+/// pattern of b) pair.
+struct TriSolvePlan {
+  PatternKey key;
+  SympilerOptions options;
+  TriSolveSets sets;
+  parallel::LevelSchedule schedule;  ///< column levels; empty unless
+                                     ///< path == ParallelTriSolve
+  ExecutionPath path = ExecutionPath::PrunedTriSolve;
+  PlanEvidence evidence;
+
+  [[nodiscard]] std::size_t bytes() const {
+    return sizeof(TriSolvePlan) + sets.bytes() + schedule.bytes();
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace sympiler::core

@@ -48,6 +48,14 @@ struct TriSolveSets {
   bool vs_block_profitable = false;
   /// Useful flops of the pruned solve.
   double flops = 0.0;
+
+  /// Heap bytes of the inspection sets (plan-size accounting).
+  [[nodiscard]] std::size_t bytes() const {
+    return (reach.size() + sn_reach.size() + sn_first_col.size() +
+            colcount.size()) *
+               sizeof(index_t) +
+           blocks.bytes();
+  }
 };
 
 /// Run the triangular-solve inspector on pattern of L and RHS pattern
@@ -80,6 +88,12 @@ struct CholeskySets {
   double avg_colcount = 0.0;          ///< BLAS-switch threshold input
   bool vs_block_profitable = false;
   [[nodiscard]] double flops() const { return sym.flops; }
+
+  /// Heap bytes of the inspection sets (plan-size accounting).
+  [[nodiscard]] std::size_t bytes() const {
+    return sym.bytes() + blocks.bytes() + layout.bytes() + updates.bytes() +
+           (rowpat_ptr.size() + rowpat.size()) * sizeof(index_t);
+  }
 };
 
 /// Run the Cholesky inspector on the pattern of A (lower triangle).

@@ -1,0 +1,170 @@
+#include "core/planner.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "util/timer.h"
+
+namespace sympiler::core {
+
+const char* to_string(ExecutionPath path) {
+  switch (path) {
+    case ExecutionPath::Simplicial: return "simplicial";
+    case ExecutionPath::Supernodal: return "supernodal";
+    case ExecutionPath::ParallelSupernodal: return "parallel-supernodal";
+    case ExecutionPath::PrunedTriSolve: return "pruned-trisolve";
+    case ExecutionPath::BlockedTriSolve: return "blocked-trisolve";
+    case ExecutionPath::ParallelTriSolve: return "parallel-trisolve";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string summarize(const char* kind, const PatternKey& key,
+                      ExecutionPath path, const PlanEvidence& ev,
+                      std::size_t bytes) {
+  std::ostringstream os;
+  os << kind << " plan for " << key.rows << "x" << key.cols
+     << " nnz=" << key.nnz;
+  if (key.rhs_nnz > 0) os << " rhs_nnz=" << key.rhs_nnz;
+  os << "\n  path: " << to_string(path)
+     << (ev.vs_block_profitable ? " (VS-Block profitable)"
+                                : " (VS-Block below threshold)");
+  os << "\n  supernodes: " << ev.supernodes
+     << ", avg participating size: " << ev.avg_supernode_size;
+  if (ev.parallel_considered) {
+    os << "\n  levels: " << ev.levels
+       << ", avg level width: " << ev.avg_level_width;
+  } else {
+    os << "\n  levels: not scheduled (parallel gates closed)";
+  }
+  os << "\n  plan bytes: " << bytes
+     << ", planning time: " << ev.build_seconds * 1e3 << " ms";
+  return os.str();
+}
+
+}  // namespace
+
+std::string CholeskyPlan::summary() const {
+  return summarize("cholesky", key, path, evidence, bytes());
+}
+
+std::string TriSolvePlan::summary() const {
+  return summarize("trisolve", key, path, evidence, bytes());
+}
+
+std::uint64_t Planner::gate_hash() const {
+  // FNV-1a over the planner gates, folded into the key's config hash so
+  // configs that could plan differently never share a cache entry.
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = 0x504c414eULL;  // "PLAN"
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= kPrime;
+    }
+  };
+  mix(static_cast<std::uint64_t>(config_.enable_parallel));
+  mix(static_cast<std::uint64_t>(config_.parallel_min_supernodes));
+  std::uint64_t width_bits = 0;
+  static_assert(sizeof(width_bits) ==
+                sizeof(config_.parallel_min_avg_level_width));
+  std::memcpy(&width_bits, &config_.parallel_min_avg_level_width,
+              sizeof(width_bits));
+  mix(width_bits);
+  return h;
+}
+
+PatternKey Planner::cholesky_key(const CscMatrix& a_lower) const {
+  PatternKey key = cholesky_pattern_key(a_lower, config_.options);
+  key.config_hash ^= gate_hash();
+  return key;
+}
+
+PatternKey Planner::trisolve_key(const CscMatrix& l,
+                                 std::span<const index_t> beta) const {
+  PatternKey key = trisolve_pattern_key(l, beta, config_.options);
+  key.config_hash ^= gate_hash();
+  return key;
+}
+
+CholeskyPlan Planner::plan_cholesky(const CscMatrix& a_lower,
+                                    bool with_key) const {
+  Timer timer;
+  CholeskyPlan plan;
+  if (with_key) plan.key = cholesky_key(a_lower);
+  plan.options = config_.options;
+  plan.sets = inspect_cholesky(a_lower, config_.options);
+
+  PlanEvidence& ev = plan.evidence;
+  ev.vs_block_profitable = plan.sets.vs_block_profitable;
+  ev.supernodes = plan.sets.blocks.count();
+  ev.avg_supernode_size = plan.sets.avg_supernode_size;
+
+  if (!plan.sets.vs_block_profitable) {
+    plan.path = ExecutionPath::Simplicial;
+  } else {
+    plan.path = ExecutionPath::Supernodal;
+    if (parallel_enabled() && config_.enable_parallel &&
+        plan.sets.layout.nsuper() >= config_.parallel_min_supernodes) {
+      // The schedule is cheap relative to inspection (one pass over the
+      // supernodal forest); building it here makes every warm factor()
+      // schedule-free, across all Solvers sharing a cache.
+      ev.parallel_considered = true;
+      parallel::LevelSchedule schedule = parallel::level_schedule_supernodes(
+          plan.sets.blocks, plan.sets.sym.parent);
+      ev.levels = schedule.levels();
+      ev.avg_level_width = schedule.avg_level_width();
+      if (ev.avg_level_width >= config_.parallel_min_avg_level_width) {
+        plan.path = ExecutionPath::ParallelSupernodal;
+        plan.schedule = std::move(schedule);
+      }
+    }
+  }
+  ev.build_seconds = timer.seconds();
+  return plan;
+}
+
+TriSolvePlan Planner::plan_trisolve(const CscMatrix& l,
+                                    std::span<const index_t> beta,
+                                    const SupernodePartition* known_blocks,
+                                    bool with_key) const {
+  Timer timer;
+  TriSolvePlan plan;
+  if (with_key) plan.key = trisolve_key(l, beta);
+  plan.options = config_.options;
+  plan.sets = inspect_trisolve(l, beta, config_.options, known_blocks);
+
+  PlanEvidence& ev = plan.evidence;
+  ev.vs_block_profitable = plan.sets.vs_block_profitable;
+  ev.supernodes = plan.sets.blocks.count();
+  ev.avg_supernode_size = plan.sets.avg_supernode_size;
+
+  plan.path = plan.sets.vs_block_profitable ? ExecutionPath::BlockedTriSolve
+                                            : ExecutionPath::PrunedTriSolve;
+  const bool dense_rhs = static_cast<index_t>(beta.size()) == l.cols();
+  if (parallel_enabled() && config_.enable_parallel && dense_rhs &&
+      plan.path == ExecutionPath::PrunedTriSolve) {
+    ev.parallel_considered = true;
+    parallel::LevelSchedule schedule = parallel::level_schedule_columns(l);
+    ev.levels = schedule.levels();
+    ev.avg_level_width = schedule.avg_level_width();
+    if (ev.avg_level_width >= config_.parallel_min_avg_level_width) {
+      plan.path = ExecutionPath::ParallelTriSolve;
+      plan.schedule = std::move(schedule);
+    }
+  }
+  ev.build_seconds = timer.seconds();
+  return plan;
+}
+
+bool Planner::parallel_enabled() {
+#ifdef SYMPILER_HAS_OPENMP
+  return true;
+#else
+  return false;  // level-set execution degenerates to sequential + barriers
+#endif
+}
+
+}  // namespace sympiler::core

@@ -1,0 +1,78 @@
+// Planner: (sparsity pattern, options, config) -> ExecutionPlan.
+//
+// The planning layer absorbs every decision that used to be scattered
+// across api::Solver and the executors: it runs the inspector, builds the
+// level-set schedule when the parallel gates clear, and commits to one
+// ExecutionPath with the profitability evidence recorded in the plan.
+// Planning is a pure function of (pattern, PlannerConfig), which is what
+// makes plans cacheable and shareable across Solvers and threads.
+#pragma once
+
+#include <span>
+
+#include "core/execution_plan.h"
+#include "core/options.h"
+#include "core/pattern_key.h"
+#include "sparse/csc.h"
+#include "util/common.h"
+
+namespace sympiler::core {
+
+/// Everything that steers planning: the inspection options plus the knobs
+/// gating the parallel paths. Participates in the plan cache key — two
+/// configs that could plan differently never share a cache entry.
+struct PlannerConfig {
+  SympilerOptions options;
+
+  /// Allow the level-set parallel paths when they look profitable.
+  /// Meaningless (always sequential) without SYMPILER_HAS_OPENMP.
+  bool enable_parallel = true;
+  /// Parallel profitability gates: enough supernodes to schedule, and wide
+  /// enough average levels to beat the barrier cost per level.
+  index_t parallel_min_supernodes = 256;
+  double parallel_min_avg_level_width = 8.0;
+};
+
+class Planner {
+ public:
+  explicit Planner(PlannerConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const PlannerConfig& config() const { return config_; }
+
+  /// Cache key of the plan plan_cholesky would build: the pattern key of
+  /// a_lower with the planner gates folded into the config hash.
+  [[nodiscard]] PatternKey cholesky_key(const CscMatrix& a_lower) const;
+
+  /// Cache key of the plan plan_trisolve would build.
+  [[nodiscard]] PatternKey trisolve_key(const CscMatrix& l,
+                                        std::span<const index_t> beta) const;
+
+  /// Full Cholesky planning: inspect, schedule if profitable, pick a path.
+  /// `with_key` stamps the plan's cache key — skip it (plan.key stays
+  /// default) when the plan will never meet a cache, e.g. the direct
+  /// executors' convenience constructors, to keep their "inspection time"
+  /// free of O(nnz) key-hashing the caller throws away.
+  [[nodiscard]] CholeskyPlan plan_cholesky(const CscMatrix& a_lower,
+                                           bool with_key = true) const;
+
+  /// Full triangular-solve planning. Pass `known_blocks` when L came out
+  /// of the Cholesky inspector (supernodes need not be re-derived). The
+  /// ParallelTriSolve path is only picked for a dense RHS (|beta| == n):
+  /// with a sparse RHS the pruned sequential solve does strictly less
+  /// work, and the parallel solve's atomic updates are not bit-reproducible.
+  [[nodiscard]] TriSolvePlan plan_trisolve(
+      const CscMatrix& l, std::span<const index_t> beta,
+      const SupernodePartition* known_blocks = nullptr,
+      bool with_key = true) const;
+
+  /// Whether this build can run the level-set paths in parallel at all
+  /// (compile-time: SYMPILER_HAS_OPENMP).
+  [[nodiscard]] static bool parallel_enabled();
+
+ private:
+  [[nodiscard]] std::uint64_t gate_hash() const;
+
+  PlannerConfig config_;
+};
+
+}  // namespace sympiler::core

@@ -1,8 +1,10 @@
 #include "core/symbolic_cache.h"
 
+#include "core/execution_plan.h"
+
 namespace sympiler::core {
 
-template class SymbolicCache<CholeskySets>;
-template class SymbolicCache<TriSolveSets>;
+template class PlanCache<CholeskyPlan>;
+template class PlanCache<TriSolvePlan>;
 
 }  // namespace sympiler::core

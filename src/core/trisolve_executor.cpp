@@ -2,21 +2,37 @@
 
 #include <algorithm>
 
+#include "core/planner.h"
+
 namespace sympiler::core {
+
+namespace {
+
+std::shared_ptr<const TriSolvePlan> plan_sequential(
+    const CscMatrix& l, std::span<const index_t> beta, SympilerOptions opt,
+    const SupernodePartition* known_blocks) {
+  PlannerConfig config;
+  config.options = opt;
+  config.enable_parallel = false;  // direct executors interpret sequentially
+  // No cache involved, so skip stamping the key (O(nnz) hashing).
+  return std::make_shared<const TriSolvePlan>(
+      Planner(config).plan_trisolve(l, beta, known_blocks,
+                                    /*with_key=*/false));
+}
+
+}  // namespace
 
 TriSolveExecutor::TriSolveExecutor(const CscMatrix& l,
                                    std::span<const index_t> beta,
                                    SympilerOptions opt,
                                    const SupernodePartition* known_blocks)
-    : TriSolveExecutor(
-          std::make_shared<const TriSolveSets>(
-              inspect_trisolve(l, beta, opt, known_blocks)),
-          l, opt) {}
+    : TriSolveExecutor(plan_sequential(l, beta, opt, known_blocks), l) {}
 
-TriSolveExecutor::TriSolveExecutor(std::shared_ptr<const TriSolveSets> sets,
-                                   const CscMatrix& l, SympilerOptions opt)
-    : l_(&l), opt_(opt), sets_(std::move(sets)) {
-  SYMPILER_CHECK(sets_ != nullptr, "trisolve executor: null inspection sets");
+TriSolveExecutor::TriSolveExecutor(std::shared_ptr<const TriSolvePlan> plan,
+                                   const CscMatrix& l)
+    : l_(&l), plan_(std::move(plan)) {
+  SYMPILER_CHECK(plan_ != nullptr, "trisolve executor: null plan");
+  sets_ = &plan_->sets;
   // Preallocate the tail buffer to the largest block tail (over all
   // supernodes: the VS-Block-only configuration traverses every block).
   index_t max_tail = 0;
@@ -31,7 +47,9 @@ TriSolveExecutor::TriSolveExecutor(std::shared_ptr<const TriSolveSets> sets,
 void TriSolveExecutor::solve(std::span<value_t> x) const {
   SYMPILER_CHECK(static_cast<index_t>(x.size()) == l_->cols(),
                  "trisolve executor: size mismatch");
-  if (sets_->vs_block_profitable) {
+  // Pure plan dispatch: the path was decided at plan time. ParallelTriSolve
+  // plans run the pruned interpretation when executed sequentially here.
+  if (plan_->path == ExecutionPath::BlockedTriSolve) {
     solve_blocked(x);
   } else {
     solve_pruned(x);
@@ -45,7 +63,7 @@ void TriSolveExecutor::solve_pruned(std::span<value_t> x) const {
   const CscMatrix& l = *l_;
   const index_t* Li = l.rowind.data();
   const value_t* Lx = l.values.data();
-  if (!opt_.vi_prune) {
+  if (!plan_->options.vi_prune) {
     // Neither transformation applied: the naive library loop.
     for (index_t j = 0; j < l.cols(); ++j) {
       if (x[j] == 0.0) continue;
@@ -62,7 +80,8 @@ void TriSolveExecutor::solve_pruned(std::span<value_t> x) const {
     const index_t p1 = l.col_end(j);
     const value_t xj = x[j] / Lx[p0];
     x[j] = xj;
-    if (opt_.low_level && p1 - p0 - 1 > opt_.peel_colcount) {
+    if (plan_->options.low_level &&
+        p1 - p0 - 1 > plan_->options.peel_colcount) {
       // Peeled body: 4-way unrolled update (the generated code emits this
       // with literal bounds; see codegen.cpp).
       index_t p = p0 + 1;
@@ -87,18 +106,18 @@ void TriSolveExecutor::solve_blocked(std::span<value_t> x) const {
   const CscMatrix& l = *l_;
   const index_t* Li = l.rowind.data();
   const value_t* Lx = l.values.data();
-  const index_t nblocks = opt_.vi_prune
+  const index_t nblocks = plan_->options.vi_prune
                               ? static_cast<index_t>(sets_->sn_reach.size())
                               : sets_->blocks.count();
   value_t* tail = tail_.data();
   for (index_t k = 0; k < nblocks; ++k) {
-    const index_t s = opt_.vi_prune ? sets_->sn_reach[k] : k;
+    const index_t s = plan_->options.vi_prune ? sets_->sn_reach[k] : k;
     const index_t c1 = sets_->blocks.start[s];
     const index_t c2 = sets_->blocks.start[s + 1];
-    const index_t cr = opt_.vi_prune ? sets_->sn_first_col[k] : c1;
+    const index_t cr = plan_->options.vi_prune ? sets_->sn_first_col[k] : c1;
     const index_t tail_len = sets_->colcount[c1] - (c2 - c1);
 
-    if (opt_.low_level && c2 - cr == 1 && cr == c1) {
+    if (plan_->options.low_level && c2 - cr == 1 && cr == c1) {
       // Peeled single-column supernode: straight scalar column, no gather
       // buffer traffic.
       const index_t p0 = l.col_begin(cr);
@@ -125,7 +144,7 @@ void TriSolveExecutor::solve_blocked(std::span<value_t> x) const {
     // Tail: tail[t] = sum_j L(tail_t, j) * x[j], accumulated densely.
     std::fill(tail, tail + tail_len, 0.0);
     index_t j = cr;
-    if (opt_.low_level) {
+    if (plan_->options.low_level) {
       // Process two columns at a time (register reuse / ILP — the
       // "vectorization" the VS-Block pass annotates).
       for (; j + 1 < c2; j += 2) {

@@ -1,5 +1,5 @@
-// Sympiler triangular-solve executor: the numeric-only solver driven by
-// the inspection sets (paper Figure 1e semantics).
+// Sympiler triangular-solve executor: the numeric-only solver driven by a
+// precomputed ExecutionPlan (paper Figure 1e semantics).
 //
 // The executor runs exactly the schedule the generated C code runs — the
 // VS-Block supernodal traversal restricted to the supernode-level
@@ -7,13 +7,17 @@
 // inner loops — but reads the sets from memory instead of having them
 // baked into the instruction stream. codegen.h emits the baked-constant C
 // version; tests assert both produce identical results.
+//
+// A plan whose path is ParallelTriSolve is interpreted sequentially here
+// (via the pruned path); parallel::parallel_trisolve is its parallel
+// interpreter.
 #pragma once
 
 #include <memory>
 #include <span>
 #include <vector>
 
-#include "core/inspector.h"
+#include "core/execution_plan.h"
 #include "core/options.h"
 #include "sparse/csc.h"
 #include "util/common.h"
@@ -22,40 +26,42 @@ namespace sympiler::core {
 
 class TriSolveExecutor {
  public:
-  /// Symbolic inspection happens here ("compile time"). `l` is borrowed
-  /// and must outlive the executor; its pattern and the pattern of beta
-  /// are fixed from this point on. Pass `known_blocks` when L came out of
-  /// the Cholesky inspector (its supernodes are already known).
+  /// Convenience: plan on the spot ("compile time"). `l` is borrowed and
+  /// must outlive the executor; its pattern and the pattern of beta are
+  /// fixed from this point on. Pass `known_blocks` when L came out of the
+  /// Cholesky inspector (its supernodes are already known).
   TriSolveExecutor(const CscMatrix& l, std::span<const index_t> beta,
                    SympilerOptions opt = {},
                    const SupernodePartition* known_blocks = nullptr);
 
-  /// Numeric-only construction from precomputed (typically cached) sets:
-  /// no symbolic work happens here. `sets` must have been produced by
-  /// inspect_trisolve on the pattern of `l` (and the intended beta) with
-  /// options equivalent to `opt` — the SymbolicCache key guarantees this.
-  /// (Sets come first so that `{...}` beta literals in the other overload
-  /// stay unambiguous.)
-  TriSolveExecutor(std::shared_ptr<const TriSolveSets> sets,
-                   const CscMatrix& l, SympilerOptions opt = {});
+  /// Pure interpreter over a precomputed (typically cached) plan: no
+  /// symbolic work, no decisions. `plan` must have been produced by
+  /// core::Planner on the pattern of `l` (and the intended beta) — the
+  /// plan cache key guarantees this.
+  TriSolveExecutor(std::shared_ptr<const TriSolvePlan> plan,
+                   const CscMatrix& l);
 
-  /// Numeric solve: x holds b on entry (with the inspected pattern), the
+  /// Numeric solve: x holds b on entry (with the planned pattern), the
   /// solution on exit. No symbolic work happens here.
   void solve(std::span<value_t> x) const;
 
-  [[nodiscard]] const TriSolveSets& sets() const { return *sets_; }
-  [[nodiscard]] bool vs_block_applied() const {
-    return sets_->vs_block_profitable;
+  [[nodiscard]] const TriSolvePlan& plan() const { return *plan_; }
+  [[nodiscard]] const std::shared_ptr<const TriSolvePlan>& plan_ptr() const {
+    return plan_;
   }
-  [[nodiscard]] double flops() const { return sets_->flops; }
+  [[nodiscard]] const TriSolveSets& sets() const { return plan_->sets; }
+  [[nodiscard]] bool vs_block_applied() const {
+    return plan_->path == ExecutionPath::BlockedTriSolve;
+  }
+  [[nodiscard]] double flops() const { return plan_->sets.flops; }
 
  private:
   void solve_pruned(std::span<value_t> x) const;
   void solve_blocked(std::span<value_t> x) const;
 
   const CscMatrix* l_;
-  SympilerOptions opt_;
-  std::shared_ptr<const TriSolveSets> sets_;  ///< shared with the cache
+  std::shared_ptr<const TriSolvePlan> plan_;  ///< shared with the cache
+  const TriSolveSets* sets_ = nullptr;        ///< &plan_->sets
   mutable std::vector<value_t> tail_;  ///< gather buffer for block tails
 };
 

@@ -39,6 +39,11 @@ struct SupernodePartition {
 
   /// Check the partition tiles [0, n) contiguously.
   [[nodiscard]] bool valid(index_t n) const;
+
+  /// Heap bytes of the partition arrays (plan-size accounting).
+  [[nodiscard]] std::size_t bytes() const {
+    return (start.size() + col_to_super.size()) * sizeof(index_t);
+  }
 };
 
 /// Options controlling supernode formation.

@@ -43,6 +43,12 @@ struct SymbolicFactor {
   CscMatrix l_pattern;             ///< pattern of L, values allocated = 0
   std::int64_t fill_nnz = 0;       ///< nnz(L)
   double flops = 0.0;              ///< factorization flops: sum cc_j^2
+
+  /// Heap bytes of the symbolic product (plan-size accounting).
+  [[nodiscard]] std::size_t bytes() const {
+    return (parent.size() + colcount.size()) * sizeof(index_t) +
+           l_pattern.bytes();
+  }
 };
 
 /// Compute the elimination tree and the exact pattern of L (paper Eq. 1,

@@ -1,15 +1,20 @@
 #include "parallel/levelset.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "blas/kernels.h"
+#include "core/execution_plan.h"
 #include "solvers/supernodal.h"
 
 namespace sympiler::parallel {
 
 namespace {
 
+std::atomic<std::uint64_t> g_schedule_builds{0};
+
 LevelSchedule bucket_by_level(std::span<const index_t> level) {
+  g_schedule_builds.fetch_add(1, std::memory_order_relaxed);
   LevelSchedule s;
   const auto count = static_cast<index_t>(level.size());
   index_t nlevels = 0;
@@ -24,6 +29,10 @@ LevelSchedule bucket_by_level(std::span<const index_t> level) {
 }
 
 }  // namespace
+
+std::uint64_t level_schedule_builds() {
+  return g_schedule_builds.load(std::memory_order_relaxed);
+}
 
 LevelSchedule level_schedule_columns(const CscMatrix& l) {
   const index_t n = l.cols();
@@ -142,6 +151,20 @@ void parallel_cholesky(const core::CholeskySets& sets,
       }
     }
   }
+}
+
+void parallel_trisolve(const CscMatrix& l, const core::TriSolvePlan& plan,
+                       std::span<value_t> x) {
+  SYMPILER_CHECK(plan.path == core::ExecutionPath::ParallelTriSolve,
+                 "parallel_trisolve: plan path is not ParallelTriSolve");
+  parallel_trisolve(l, plan.schedule, x);
+}
+
+void parallel_cholesky(const core::CholeskyPlan& plan,
+                       const CscMatrix& a_lower, std::span<value_t> panels) {
+  SYMPILER_CHECK(plan.path == core::ExecutionPath::ParallelSupernodal,
+                 "parallel_cholesky: plan path is not ParallelSupernodal");
+  parallel_cholesky(plan.sets, plan.schedule, a_lower, panels);
 }
 
 }  // namespace sympiler::parallel

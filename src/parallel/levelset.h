@@ -5,14 +5,23 @@
 // set: a level schedule of the dependence structure; columns/supernodes
 // within a level are independent and run in parallel (OpenMP when built
 // with SYMPILER_HAS_OPENMP, sequentially otherwise).
+//
+// The level schedule is part of a core::ExecutionPlan: the Planner builds
+// it once per pattern and the plan-driven overloads below interpret it.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/inspector.h"
 #include "sparse/csc.h"
 #include "util/common.h"
+
+namespace sympiler::core {
+struct CholeskyPlan;   // core/execution_plan.h
+struct TriSolvePlan;
+}  // namespace sympiler::core
 
 namespace sympiler::parallel {
 
@@ -22,9 +31,27 @@ struct LevelSchedule {
   std::vector<index_t> level_ptr;  ///< size nlevels + 1
   std::vector<index_t> items;      ///< permutation of items, bucketed
   [[nodiscard]] index_t levels() const {
-    return static_cast<index_t>(level_ptr.size()) - 1;
+    return level_ptr.empty()
+               ? 0
+               : static_cast<index_t>(level_ptr.size()) - 1;
+  }
+  [[nodiscard]] bool empty() const { return items.empty(); }
+  /// Mean items per level; 0 for an empty schedule.
+  [[nodiscard]] double avg_level_width() const {
+    const index_t n = levels();
+    return n > 0 ? static_cast<double>(items.size()) / static_cast<double>(n)
+                 : 0.0;
+  }
+  /// Heap bytes of the schedule arrays (plan-size accounting).
+  [[nodiscard]] std::size_t bytes() const {
+    return (level_ptr.size() + items.size()) * sizeof(index_t);
   }
 };
+
+/// Process-wide count of level schedules constructed so far. Regression
+/// instrumentation: a warm plan-cache hit must do zero schedule work, which
+/// tests assert by taking the counter's delta around a warm factor().
+[[nodiscard]] std::uint64_t level_schedule_builds();
 
 /// Levels of the column dependence graph DG_L (column j depends on every
 /// column k with L(j,k) != 0).
@@ -38,13 +65,26 @@ struct LevelSchedule {
 void parallel_trisolve(const CscMatrix& l, const LevelSchedule& schedule,
                        std::span<value_t> x);
 
+/// Plan-driven interpreter: runs the schedule carried by a trisolve plan
+/// whose path is ExecutionPath::ParallelTriSolve. Same-level columns
+/// update shared rows with atomics, so result bits can vary run to run
+/// (unlike every sequential path).
+void parallel_trisolve(const CscMatrix& l, const core::TriSolvePlan& plan,
+                       std::span<value_t> x);
+
 /// Parallel supernodal left-looking Cholesky using the static inspection
 /// sets plus a supernode level schedule. Writes the factor into `panels`
 /// (layout in sets.layout). Each level's supernodes factor concurrently;
 /// left-looking updates only read descendants, which live in earlier
-/// levels.
+/// levels. Deterministic: every panel's updates are applied by its owning
+/// thread in static schedule order.
 void parallel_cholesky(const core::CholeskySets& sets,
                        const LevelSchedule& schedule,
+                       const CscMatrix& a_lower, std::span<value_t> panels);
+
+/// Plan-driven interpreter: sets + schedule come from the plan (path must
+/// be ExecutionPath::ParallelSupernodal).
+void parallel_cholesky(const core::CholeskyPlan& plan,
                        const CscMatrix& a_lower, std::span<value_t> panels);
 
 }  // namespace sympiler::parallel

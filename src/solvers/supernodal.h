@@ -41,6 +41,15 @@ struct SupernodalLayout {
   }
   [[nodiscard]] std::int64_t total_values() const { return panel_ptr.back(); }
 
+  /// Heap bytes of the layout arrays (plan-size accounting; the numeric
+  /// panels are owned by executors, not the layout).
+  [[nodiscard]] std::size_t bytes() const {
+    return sn.bytes() +
+           (parent.size() + colcount.size() + srow_ptr.size() + srows.size()) *
+               sizeof(index_t) +
+           panel_ptr.size() * sizeof(std::int64_t);
+  }
+
   /// Build from a symbolic factorization and a (fundamental) partition.
   /// The partition must satisfy the supernodal invariant w.r.t. the
   /// pattern in `sym` unless `allow_relaxed`; relaxed supernodes take the
@@ -64,6 +73,11 @@ struct UpdateLists {
   std::vector<index_t> ptr;     ///< nsuper + 1
   std::vector<UpdateRef> refs;  ///< updates targeting supernode s in
                                 ///< refs[ptr[s]..ptr[s+1])
+
+  /// Heap bytes of the schedule (plan-size accounting).
+  [[nodiscard]] std::size_t bytes() const {
+    return ptr.size() * sizeof(index_t) + refs.size() * sizeof(UpdateRef);
+  }
 };
 [[nodiscard]] UpdateLists compute_update_lists(const SupernodalLayout& layout);
 

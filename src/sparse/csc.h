@@ -75,6 +75,12 @@ class CscMatrix {
   /// Human-readable summary, e.g. "CscMatrix 100x100, nnz=460".
   [[nodiscard]] std::string to_string() const;
 
+  /// Heap bytes of the index/value arrays (plan-size accounting).
+  [[nodiscard]] std::size_t bytes() const {
+    return colptr.size() * sizeof(index_t) + rowind.size() * sizeof(index_t) +
+           values.size() * sizeof(value_t);
+  }
+
   std::vector<index_t> colptr;  ///< size ncols + 1
   std::vector<index_t> rowind;  ///< size nnz
   std::vector<value_t> values;  ///< size nnz

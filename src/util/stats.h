@@ -4,6 +4,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <numeric>
@@ -12,12 +13,14 @@
 
 namespace sympiler {
 
-/// Hit/miss/eviction counters of a SymbolicCache (core/symbolic_cache.h).
-/// A snapshot — reading it is not synchronized with concurrent cache use.
+/// Hit/miss/eviction counters of a plan cache (core/symbolic_cache.h).
+/// A plain-value snapshot; per-shard live counters are AtomicCacheStats
+/// below, and shard snapshots aggregate with operator+.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t evicted_bytes = 0;  ///< sum of bytes() over evicted plans
 
   [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
   [[nodiscard]] double hit_rate() const {
@@ -26,9 +29,57 @@ struct CacheStats {
                       : static_cast<double>(hits) / static_cast<double>(total);
   }
   [[nodiscard]] std::string to_string() const {
-    return "hits=" + std::to_string(hits) +
-           " misses=" + std::to_string(misses) +
-           " evictions=" + std::to_string(evictions);
+    std::string s = "hits=" + std::to_string(hits) +
+                    " misses=" + std::to_string(misses) +
+                    " evictions=" + std::to_string(evictions);
+    if (evicted_bytes > 0)
+      s += " evicted_bytes=" + std::to_string(evicted_bytes);
+    return s;
+  }
+
+  CacheStats& operator+=(const CacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    evicted_bytes += o.evicted_bytes;
+    return *this;
+  }
+  friend CacheStats operator+(CacheStats a, const CacheStats& b) {
+    return a += b;
+  }
+};
+
+/// Live counters of one cache shard. Mutations use relaxed ordering: each
+/// counter is independently monotonic and nothing is published through
+/// them, so shard snapshots can be read while other shards (or this one)
+/// mutate, without taking any shard lock. Cross-counter invariants (e.g.
+/// hits + misses == lookups issued) hold exactly once the mutating threads
+/// are quiescent, which is when tests and reports read them.
+struct AtomicCacheStats {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> evicted_bytes{0};
+
+  void count_hit() { hits.fetch_add(1, std::memory_order_relaxed); }
+  void count_miss() { misses.fetch_add(1, std::memory_order_relaxed); }
+  void count_eviction(std::uint64_t bytes) {
+    evictions.fetch_add(1, std::memory_order_relaxed);
+    evicted_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void reset() {
+    hits.store(0, std::memory_order_relaxed);
+    misses.store(0, std::memory_order_relaxed);
+    evictions.store(0, std::memory_order_relaxed);
+    evicted_bytes.store(0, std::memory_order_relaxed);
+  }
+  [[nodiscard]] CacheStats snapshot() const {
+    CacheStats s;
+    s.hits = hits.load(std::memory_order_relaxed);
+    s.misses = misses.load(std::memory_order_relaxed);
+    s.evictions = evictions.load(std::memory_order_relaxed);
+    s.evicted_bytes = evicted_bytes.load(std::memory_order_relaxed);
+    return s;
   }
 };
 

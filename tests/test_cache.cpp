@@ -1,6 +1,7 @@
-// Tests for the pattern-keyed symbolic cache and the Solver facade:
+// Tests for the pattern-keyed plan cache and the Solver facade:
 // key identity (values never matter, structure and options always do),
-// LRU mechanics, thread-safety, and facade-vs-direct-executor equality.
+// sharded byte-budget LRU mechanics, thread-safety, and
+// facade-vs-direct-executor equality.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -9,6 +10,7 @@
 
 #include "api/solver.h"
 #include "core/cholesky_executor.h"
+#include "core/execution_plan.h"
 #include "core/inspector.h"
 #include "core/pattern_key.h"
 #include "core/symbolic_cache.h"
@@ -21,6 +23,7 @@ namespace sympiler {
 namespace {
 
 using core::CholeskyCache;
+using core::CholeskyPlan;
 using core::CholeskySets;
 using core::PatternKey;
 using core::SympilerOptions;
@@ -109,7 +112,7 @@ TEST(PatternKey, HashCollisionStillComparesUnequal) {
   EXPECT_NE(k1, k2);  // map correctness never rests on the bucket hash
 }
 
-// --------------------------------------------------------------- LRU cache
+// -------------------------------------------------- sharded plan cache
 
 PatternKey key_of(int variant) {
   PatternKey k;
@@ -120,26 +123,30 @@ PatternKey key_of(int variant) {
   return k;
 }
 
-CholeskySets sets_with_marker(double marker) {
-  CholeskySets s;
-  s.avg_supernode_size = marker;  // any distinguishable field works
-  return s;
+/// A plan with a recognizable marker and a controllable bytes() weight
+/// (padding lives in the simplicial row-pattern array).
+CholeskyPlan plan_with_marker(double marker, std::size_t pad_bytes = 0) {
+  CholeskyPlan p;
+  p.sets.avg_supernode_size = marker;  // any distinguishable field works
+  p.sets.rowpat.resize(pad_bytes / sizeof(index_t));
+  return p;
 }
 
-TEST(SymbolicCache, HitsMissesAndSharing) {
-  CholeskyCache cache(4);
+TEST(PlanCache, HitsMissesAndSharing) {
+  CholeskyCache cache;
   auto miss = cache.find(key_of(1));
   EXPECT_FALSE(miss.hit);
-  EXPECT_EQ(miss.sets, nullptr);
+  EXPECT_EQ(miss.plan, nullptr);
 
-  auto built = cache.get_or_build(key_of(1), [] { return sets_with_marker(7); });
+  auto built =
+      cache.get_or_build(key_of(1), [] { return plan_with_marker(7); });
   EXPECT_FALSE(built.hit);
-  auto again = cache.get_or_build(key_of(1), []() -> CholeskySets {
+  auto again = cache.get_or_build(key_of(1), []() -> CholeskyPlan {
     ADD_FAILURE() << "hit must not rebuild";
     return {};
   });
   EXPECT_TRUE(again.hit);
-  EXPECT_EQ(again.sets.get(), built.sets.get());  // one shared object
+  EXPECT_EQ(again.plan.get(), built.plan.get());  // one shared object
 
   const CacheStats st = cache.stats();
   EXPECT_EQ(st.hits, 1u);
@@ -148,41 +155,127 @@ TEST(SymbolicCache, HitsMissesAndSharing) {
   EXPECT_DOUBLE_EQ(st.hit_rate(), 1.0 / 3.0);
 }
 
-TEST(SymbolicCache, LruEvictionOrder) {
-  CholeskyCache cache(2);
-  (void)cache.get_or_build(key_of(1), [] { return sets_with_marker(1); });
-  (void)cache.get_or_build(key_of(2), [] { return sets_with_marker(2); });
+TEST(PlanCache, ByteBudgetLruEviction) {
+  // Three ~equal-weight plans in a budget that holds two: the
+  // least-recently-used one is evicted.
+  constexpr std::size_t kPad = 8 << 10;
+  const std::size_t entry_bytes = plan_with_marker(0, kPad).bytes();
+  CholeskyCache cache(2 * entry_bytes + entry_bytes / 2, /*shards=*/1);
+  (void)cache.get_or_build(key_of(1), [] { return plan_with_marker(1, kPad); });
+  (void)cache.get_or_build(key_of(2), [] { return plan_with_marker(2, kPad); });
+  EXPECT_EQ(cache.resident_bytes(), 2 * entry_bytes);
   // Touch 1 so 2 becomes least-recently-used, then insert 3.
   EXPECT_TRUE(cache.find(key_of(1)).hit);
-  (void)cache.get_or_build(key_of(3), [] { return sets_with_marker(3); });
+  (void)cache.get_or_build(key_of(3), [] { return plan_with_marker(3, kPad); });
 
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().evicted_bytes, entry_bytes);
   EXPECT_FALSE(cache.find(key_of(2)).hit);  // the LRU entry was evicted
   EXPECT_TRUE(cache.find(key_of(1)).hit);
   EXPECT_TRUE(cache.find(key_of(3)).hit);
 }
 
-TEST(SymbolicCache, EvictedSetsSurviveThroughBorrowedPointer) {
-  CholeskyCache cache(1);
-  auto first = cache.get_or_build(key_of(1), [] { return sets_with_marker(42); });
-  (void)cache.get_or_build(key_of(2), [] { return sets_with_marker(43); });
-  EXPECT_FALSE(cache.find(key_of(1)).hit);  // evicted...
-  EXPECT_DOUBLE_EQ(first.sets->avg_supernode_size, 42.0);  // ...but alive
+TEST(PlanCache, EvictsLargestBytesAmongColdEntriesFirst) {
+  // Acceptance: under pressure, the biggest (equal-recompute-cost) entry
+  // in the LRU tail window goes first — eviction weighs bytes(), not
+  // entry count or pure age.
+  constexpr std::size_t kSmall = 1 << 10;
+  constexpr std::size_t kLarge = 64 << 10;
+  const std::size_t small_bytes = plan_with_marker(0, kSmall).bytes();
+  const std::size_t large_bytes = plan_with_marker(0, kLarge).bytes();
+  // Budget holds one large + one small entry; the third insert overflows.
+  CholeskyCache cache(large_bytes + small_bytes + small_bytes / 2,
+                      /*shards=*/1);
+  // Insert order: small(1) oldest, then LARGE(2), then small(3). All have
+  // equal rebuild cost (0.0), so score is proportional to bytes.
+  (void)cache.insert(key_of(1), std::make_shared<const CholeskyPlan>(
+                                    plan_with_marker(1, kSmall)));
+  (void)cache.insert(key_of(2), std::make_shared<const CholeskyPlan>(
+                                    plan_with_marker(2, kLarge)));
+  (void)cache.insert(key_of(3), std::make_shared<const CholeskyPlan>(
+                                    plan_with_marker(3, kSmall)));
+  // Over budget now: the LARGE entry must be the victim even though the
+  // oldest entry is small(1).
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().evicted_bytes, large_bytes);
+  EXPECT_FALSE(cache.find(key_of(2)).hit);
+  EXPECT_TRUE(cache.find(key_of(1)).hit);
+  EXPECT_TRUE(cache.find(key_of(3)).hit);
 }
 
-TEST(SymbolicCache, ConcurrentLookupsShareOneEntry) {
+TEST(PlanCache, ExpensivePlansOutliveCheapOnesUnderPressure) {
+  // Equal bytes, unequal recompute cost: the cheap-to-rebuild plan is
+  // evicted first (score = bytes / rebuild seconds).
+  constexpr std::size_t kPad = 4 << 10;
+  const std::size_t entry_bytes = plan_with_marker(0, kPad).bytes();
+  CholeskyCache cache(2 * entry_bytes + entry_bytes / 2, /*shards=*/1);
+  (void)cache.insert(key_of(1),
+                     std::make_shared<const CholeskyPlan>(
+                         plan_with_marker(1, kPad)),
+                     /*rebuild_seconds=*/5.0);  // expensive, oldest
+  (void)cache.insert(key_of(2),
+                     std::make_shared<const CholeskyPlan>(
+                         plan_with_marker(2, kPad)),
+                     /*rebuild_seconds=*/0.0);  // cheap
+  (void)cache.insert(key_of(3),
+                     std::make_shared<const CholeskyPlan>(
+                         plan_with_marker(3, kPad)),
+                     /*rebuild_seconds=*/5.0);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.find(key_of(2)).hit);  // the cheap one went first
+  EXPECT_TRUE(cache.find(key_of(1)).hit);
+  EXPECT_TRUE(cache.find(key_of(3)).hit);
+}
+
+TEST(PlanCache, MruSurvivesEvenWhenOverBudget) {
+  // A single plan larger than the whole budget is still served: the MRU
+  // entry is never evicted.
+  CholeskyCache cache(1, /*shards=*/1);
+  (void)cache.get_or_build(key_of(1),
+                           [] { return plan_with_marker(1, 1 << 10); });
+  EXPECT_TRUE(cache.find(key_of(1)).hit);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, EvictedPlansSurviveThroughBorrowedPointer) {
+  constexpr std::size_t kPad = 8 << 10;
+  CholeskyCache cache(plan_with_marker(0, kPad).bytes(), /*shards=*/1);
+  auto first =
+      cache.get_or_build(key_of(1), [] { return plan_with_marker(42, kPad); });
+  (void)cache.get_or_build(key_of(2),
+                           [] { return plan_with_marker(43, kPad); });
+  EXPECT_FALSE(cache.find(key_of(1)).hit);  // evicted...
+  EXPECT_DOUBLE_EQ(first.plan->sets.avg_supernode_size, 42.0);  // ...but alive
+}
+
+TEST(PlanCache, KeysSpreadAcrossShards) {
+  CholeskyCache cache;  // default geometry: 8 shards
+  ASSERT_GT(cache.shard_count(), 1u);
+  std::vector<int> population(cache.shard_count(), 0);
+  for (int v = 0; v < 256; ++v)
+    ++population[cache.shard_of(key_of(v))];
+  int occupied = 0;
+  for (const int p : population) occupied += p > 0 ? 1 : 0;
+  // The hash must not collapse the stripe: most shards see traffic.
+  EXPECT_GE(occupied, static_cast<int>(cache.shard_count()) / 2);
+}
+
+TEST(PlanCache, ConcurrentShardedLookupsKeepCountersConsistent) {
+  // Acceptance: 8 threads hammering keys that land on different shards
+  // keep aggregated hit + miss == lookups issued (per-shard atomics, no
+  // lost updates), and every thread sees the canonical shared plan.
   constexpr int kThreads = 8;
   constexpr int kIters = 200;
-  constexpr int kPatterns = 4;
-  CholeskyCache cache(kPatterns);
+  constexpr int kPatterns = 16;
+  CholeskyCache cache;  // sharded default
   std::atomic<int> mismatches{0};
-  std::vector<std::shared_ptr<const CholeskySets>> canonical(kPatterns);
+  std::vector<std::shared_ptr<const CholeskyPlan>> canonical(kPatterns);
   for (int v = 0; v < kPatterns; ++v)
     canonical[v] = cache
                        .get_or_build(key_of(v),
-                                     [&] { return sets_with_marker(v); })
-                       .sets;
+                                     [&] { return plan_with_marker(v); })
+                       .plan;
 
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
@@ -191,8 +284,8 @@ TEST(SymbolicCache, ConcurrentLookupsShareOneEntry) {
       for (int i = 0; i < kIters; ++i) {
         const int v = (t + i) % kPatterns;
         auto got = cache.get_or_build(key_of(v),
-                                      [&] { return sets_with_marker(v); });
-        if (got.sets.get() != canonical[v].get()) mismatches.fetch_add(1);
+                                      [&] { return plan_with_marker(v); });
+        if (got.plan.get() != canonical[v].get()) mismatches.fetch_add(1);
       }
     });
   }
@@ -203,19 +296,26 @@ TEST(SymbolicCache, ConcurrentLookupsShareOneEntry) {
   EXPECT_EQ(st.lookups(),
             static_cast<std::uint64_t>(kThreads) * kIters + kPatterns);
   EXPECT_EQ(st.hits, static_cast<std::uint64_t>(kThreads) * kIters);
+
+  // Per-shard counters aggregate to the same totals (CacheStats::operator+).
+  CacheStats summed;
+  for (std::size_t s = 0; s < cache.shard_count(); ++s)
+    summed += cache.shard_stats(s);
+  EXPECT_EQ(summed.hits, st.hits);
+  EXPECT_EQ(summed.misses, st.misses);
 }
 
-TEST(SymbolicCache, RacingBuildersConvergeOnFirstWriter) {
+TEST(PlanCache, RacingBuildersConvergeOnFirstWriter) {
   constexpr int kThreads = 8;
-  CholeskyCache cache(4);
-  std::vector<std::shared_ptr<const CholeskySets>> seen(kThreads);
+  CholeskyCache cache;
+  std::vector<std::shared_ptr<const CholeskyPlan>> seen(kThreads);
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       seen[static_cast<std::size_t>(t)] =
-          cache.get_or_build(key_of(9), [&] { return sets_with_marker(t); })
-              .sets;
+          cache.get_or_build(key_of(9), [&] { return plan_with_marker(t); })
+              .plan;
     });
   }
   for (std::thread& th : threads) th.join();

@@ -1,0 +1,317 @@
+// Tests for the ExecutionPlan / Planner layer: path selection from
+// profitability evidence, bit-identity between plan-driven executors and
+// the direct-call paths (simplicial, supernodal, parallel), plan byte
+// accounting, and the shared-context regression the plan refactor fixes —
+// a warm factor() does zero schedule work.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "api/solver.h"
+#include "core/cholesky_executor.h"
+#include "core/execution_plan.h"
+#include "core/inspector.h"
+#include "core/planner.h"
+#include "core/trisolve_executor.h"
+#include "gen/generators.h"
+#include "parallel/levelset.h"
+#include "solvers/simplicial.h"
+#include "solvers/supernodal.h"
+#include "sparse/ops.h"
+
+namespace sympiler {
+namespace {
+
+using core::CholeskyPlan;
+using core::ExecutionPath;
+using core::Planner;
+using core::PlannerConfig;
+using core::TriSolvePlan;
+
+PlannerConfig supernodal_config() {
+  PlannerConfig config;
+  config.options.vsblock_min_avg_size = 0.0;
+  config.options.vsblock_min_avg_width = 0.0;
+  config.enable_parallel = false;
+  return config;
+}
+
+// ------------------------------------------------------------- planning
+
+TEST(Planner, PicksSimplicialWhenVsBlockUnprofitable) {
+  const CscMatrix a = gen::random_spd(80, 1.5, 3);
+  PlannerConfig config;
+  config.options.vsblock_min_avg_size = 1e9;  // force the gate shut
+  const CholeskyPlan plan = Planner(config).plan_cholesky(a);
+  EXPECT_EQ(plan.path, ExecutionPath::Simplicial);
+  EXPECT_FALSE(plan.evidence.vs_block_profitable);
+  EXPECT_TRUE(plan.schedule.empty());
+}
+
+TEST(Planner, PicksSupernodalWhenProfitableAndParallelDisabled) {
+  const CscMatrix a = gen::grid2d_laplacian(30, 30);
+  const CholeskyPlan plan = Planner(supernodal_config()).plan_cholesky(a);
+  EXPECT_EQ(plan.path, ExecutionPath::Supernodal);
+  EXPECT_TRUE(plan.evidence.vs_block_profitable);
+  EXPECT_GT(plan.evidence.supernodes, 0);
+  EXPECT_TRUE(plan.schedule.empty());  // no schedule unless parallel
+}
+
+TEST(Planner, ParallelPathCarriesScheduleOnlyUnderOpenMp) {
+  const CscMatrix a = gen::grid2d_laplacian(40, 40);
+  PlannerConfig config = supernodal_config();
+  config.enable_parallel = true;
+  config.parallel_min_supernodes = 1;
+  config.parallel_min_avg_level_width = 0.0;
+  const CholeskyPlan plan = Planner(config).plan_cholesky(a);
+  if (Planner::parallel_enabled()) {
+    EXPECT_EQ(plan.path, ExecutionPath::ParallelSupernodal);
+    EXPECT_FALSE(plan.schedule.empty());
+    EXPECT_GT(plan.evidence.levels, 0);
+    EXPECT_GT(plan.evidence.avg_level_width, 0.0);
+    // The schedule covers every supernode exactly once.
+    EXPECT_EQ(static_cast<index_t>(plan.schedule.items.size()),
+              plan.sets.layout.nsuper());
+  } else {
+    EXPECT_EQ(plan.path, ExecutionPath::Supernodal);
+    EXPECT_TRUE(plan.schedule.empty());
+  }
+}
+
+TEST(Planner, GateConfigParticipatesInPlanKey) {
+  const CscMatrix a = gen::grid2d_laplacian(12, 12);
+  PlannerConfig base;
+  PlannerConfig gated = base;
+  gated.parallel_min_supernodes = 7;
+  EXPECT_NE(Planner(base).cholesky_key(a), Planner(gated).cholesky_key(a));
+  // And the planner key differs from the raw pattern key (gates folded in).
+  EXPECT_NE(Planner(base).cholesky_key(a),
+            core::cholesky_pattern_key(a, base.options));
+}
+
+TEST(Planner, PlanBytesAccountForSetsAndSchedule) {
+  const CscMatrix a = gen::grid2d_laplacian(25, 25);
+  const CholeskyPlan plan = Planner(supernodal_config()).plan_cholesky(a);
+  EXPECT_GT(plan.bytes(), plan.sets.bytes());
+  EXPECT_GE(plan.sets.bytes(),
+            plan.sets.sym.bytes() + plan.sets.layout.bytes());
+  const std::string text = plan.summary();
+  EXPECT_NE(text.find("supernodal"), std::string::npos);
+  EXPECT_NE(text.find("plan bytes"), std::string::npos);
+}
+
+// ------------------------------------- plan-driven executor bit identity
+
+TEST(ExecutionPlan, SimplicialInterpreterMatchesDirectPathBitwise) {
+  const CscMatrix a = gen::random_spd(120, 2.0, 5);
+  PlannerConfig config;
+  config.options.vsblock_min_avg_size = 1e9;
+  config.enable_parallel = false;
+  auto plan = std::make_shared<const CholeskyPlan>(
+      Planner(config).plan_cholesky(a));
+  ASSERT_EQ(plan->path, ExecutionPath::Simplicial);
+
+  core::CholeskyExecutor from_plan(plan);
+  from_plan.factorize(a);
+  core::CholeskyExecutor direct(a, config.options);
+  direct.factorize(a);
+  ASSERT_TRUE(from_plan.factor_csc().equals(direct.factor_csc()));
+
+  std::vector<value_t> x1 = gen::dense_rhs(a.cols(), 3);
+  std::vector<value_t> x2 = x1;
+  from_plan.solve(x1);
+  direct.solve(x2);
+  for (index_t i = 0; i < a.cols(); ++i) ASSERT_EQ(x1[i], x2[i]) << i;
+}
+
+TEST(ExecutionPlan, SupernodalInterpreterMatchesDirectPathBitwise) {
+  const CscMatrix a = gen::grid2d_laplacian(30, 30);
+  const PlannerConfig config = supernodal_config();
+  auto plan = std::make_shared<const CholeskyPlan>(
+      Planner(config).plan_cholesky(a));
+  ASSERT_EQ(plan->path, ExecutionPath::Supernodal);
+
+  core::CholeskyExecutor from_plan(plan);
+  from_plan.factorize(a);
+  core::CholeskyExecutor direct(a, config.options);
+  direct.factorize(a);
+  ASSERT_TRUE(from_plan.factor_csc().equals(direct.factor_csc()));
+
+  std::vector<value_t> x1 = gen::dense_rhs(a.cols(), 9);
+  std::vector<value_t> x2 = x1;
+  from_plan.solve(x1);
+  direct.solve(x2);
+  for (index_t i = 0; i < a.cols(); ++i) ASSERT_EQ(x1[i], x2[i]) << i;
+}
+
+TEST(ExecutionPlan, ParallelInterpreterMatchesDirectCallBitwise) {
+  // The plan-driven parallel_cholesky must reproduce the direct
+  // (sets, schedule) call bit for bit — in every build: without OpenMP
+  // both run the same sequential interpretation.
+  const CscMatrix a = gen::grid2d_laplacian(40, 40);
+  core::SympilerOptions opt;
+  opt.vsblock_min_avg_size = 0.0;
+  opt.vsblock_min_avg_width = 0.0;
+
+  auto plan = std::make_shared<CholeskyPlan>();
+  plan->options = opt;
+  plan->sets = core::inspect_cholesky(a, opt);
+  plan->schedule = parallel::level_schedule_supernodes(plan->sets.blocks,
+                                                       plan->sets.sym.parent);
+  plan->path = ExecutionPath::ParallelSupernodal;
+
+  std::vector<value_t> panels_plan(
+      static_cast<std::size_t>(plan->sets.layout.total_values()), 0.0);
+  std::vector<value_t> panels_direct = panels_plan;
+  parallel::parallel_cholesky(*plan, a, panels_plan);
+  parallel::parallel_cholesky(plan->sets, plan->schedule, a, panels_direct);
+  ASSERT_EQ(panels_plan.size(), panels_direct.size());
+  for (std::size_t i = 0; i < panels_plan.size(); ++i)
+    ASSERT_EQ(panels_plan[i], panels_direct[i]) << "panel value " << i;
+
+  // And the result is a correct factorization.
+  const CscMatrix l = solvers::panels_to_csc(plan->sets.layout, panels_plan);
+  EXPECT_LT(llt_residual_inf_norm(l, a), 1e-8);
+}
+
+TEST(ExecutionPlan, FacadeParallelPathMatchesDirectParallelCallBitwise) {
+  const CscMatrix a = gen::grid2d_laplacian(40, 40);
+  api::SolverConfig cfg;
+  cfg.options.vsblock_min_avg_size = 0.0;
+  cfg.options.vsblock_min_avg_width = 0.0;
+  cfg.parallel_min_supernodes = 1;
+  cfg.parallel_min_avg_level_width = 0.0;
+  api::Solver solver(cfg, std::make_shared<api::SymbolicContext>());
+  solver.factor(a);
+
+  if (!core::Planner::parallel_enabled()) {
+    EXPECT_EQ(solver.path(), ExecutionPath::Supernodal);
+    return;  // parallel plans are never built in sequential builds
+  }
+  ASSERT_EQ(solver.path(), ExecutionPath::ParallelSupernodal);
+  const CholeskyPlan& plan = *solver.plan();
+  std::vector<value_t> panels(
+      static_cast<std::size_t>(plan.sets.layout.total_values()), 0.0);
+  parallel::parallel_cholesky(plan, a, panels);
+  ASSERT_TRUE(solver.factor_csc().equals(
+      solvers::panels_to_csc(plan.sets.layout, panels)));
+}
+
+// ------------------------------------------------- trisolve plan paths
+
+TEST(ExecutionPlan, TriSolveInterpreterMatchesDirectPathBitwise) {
+  const CscMatrix a = gen::grid2d_laplacian(25, 25);
+  solvers::SimplicialCholesky chol(a);
+  chol.factorize(a);
+  const CscMatrix l = chol.factor();
+  const index_t n = l.cols();
+  const std::vector<value_t> b = gen::sparse_rhs(n, 5, 13);
+  std::vector<index_t> beta;
+  for (index_t i = 0; i < n; ++i)
+    if (b[i] != 0.0) beta.push_back(i);
+
+  for (const bool force_blocked : {false, true}) {
+    PlannerConfig config;
+    config.enable_parallel = false;
+    if (force_blocked) {
+      config.options.vsblock_min_avg_size = 0.0;
+      config.options.vsblock_min_avg_width = 0.0;
+    } else {
+      config.options.vsblock_min_avg_size = 1e9;
+    }
+    auto plan = std::make_shared<const TriSolvePlan>(
+        Planner(config).plan_trisolve(l, beta));
+    EXPECT_EQ(plan->path, force_blocked ? ExecutionPath::BlockedTriSolve
+                                        : ExecutionPath::PrunedTriSolve);
+
+    core::TriSolveExecutor from_plan(plan, l);
+    core::TriSolveExecutor direct(l, beta, config.options);
+    std::vector<value_t> x1(b), x2(b);
+    from_plan.solve(x1);
+    direct.solve(x2);
+    for (index_t i = 0; i < n; ++i)
+      ASSERT_EQ(x1[i], x2[i]) << "blocked=" << force_blocked << " at " << i;
+  }
+}
+
+TEST(ExecutionPlan, DenseRhsTriSolvePlanStaysCorrectOnEveryPath) {
+  // With a dense RHS and the gates open, OpenMP builds plan the
+  // ParallelTriSolve path (atomic updates: correct, not bit-stable);
+  // sequential builds stay pruned. Either way the facade must solve
+  // L x = b correctly.
+  const CscMatrix a = gen::grid2d_laplacian(20, 20);
+  solvers::SimplicialCholesky chol(a);
+  chol.factorize(a);
+  const CscMatrix l = chol.factor();
+  const index_t n = l.cols();
+  std::vector<index_t> beta(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) beta[static_cast<std::size_t>(i)] = i;
+
+  api::SolverConfig cfg;
+  cfg.options.vsblock_min_avg_size = 1e9;  // keep VS-Block out of the way
+  cfg.parallel_min_avg_level_width = 0.0;
+  api::TriangularSolver facade(l, beta, cfg,
+                               std::make_shared<api::SymbolicContext>());
+  if (core::Planner::parallel_enabled()) {
+    EXPECT_EQ(facade.path(), ExecutionPath::ParallelTriSolve);
+    EXPECT_FALSE(facade.plan()->schedule.empty());
+  } else {
+    EXPECT_EQ(facade.path(), ExecutionPath::PrunedTriSolve);
+  }
+
+  const std::vector<value_t> b = gen::dense_rhs(n, 21);
+  std::vector<value_t> x(b);
+  facade.solve(x);
+  // Residual of L x = b.
+  double err = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    double row = 0.0;
+    for (index_t i = 0; i < n; ++i) row += l.at(j, i) * x[i];
+    err = std::max(err, std::abs(row - b[static_cast<std::size_t>(j)]));
+  }
+  EXPECT_LT(err, 1e-8);
+}
+
+// ------------------------------- shared-context zero-schedule regression
+
+TEST(ExecutionPlan, SecondSolverSharingContextDoesZeroScheduleWork) {
+  // The per-Solver memoization bug class the plan refactor fixes: two
+  // Solvers sharing a SymbolicContext used to recompute the supernodal
+  // level schedule independently. Now the schedule lives in the cached
+  // plan: the second Solver's factor() must do zero schedule work, proven
+  // by plan pointer identity, cache hit counters, and the process-wide
+  // schedule-build counter standing still.
+  const CscMatrix a = gen::grid2d_laplacian(40, 40);
+  api::SolverConfig cfg;
+  cfg.options.vsblock_min_avg_size = 0.0;
+  cfg.options.vsblock_min_avg_width = 0.0;
+  cfg.parallel_min_supernodes = 1;
+  cfg.parallel_min_avg_level_width = 0.0;
+  auto context = std::make_shared<api::SymbolicContext>();
+
+  api::Solver cold(cfg, context);
+  cold.factor(a);
+  EXPECT_FALSE(cold.symbolic_cached());
+
+  const std::uint64_t builds_after_cold = parallel::level_schedule_builds();
+  api::Solver warm(cfg, context);
+  warm.factor(a);
+
+  EXPECT_TRUE(warm.symbolic_cached());
+  // Pointer identity: the whole plan — sets AND schedule AND path — is
+  // one shared object, not a per-Solver recomputation.
+  EXPECT_EQ(warm.plan().get(), cold.plan().get());
+  // Zero schedule construction happened anywhere in the process during
+  // the warm factor.
+  EXPECT_EQ(parallel::level_schedule_builds(), builds_after_cold);
+  const CacheStats st = warm.cache_stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+
+  // Both Solvers produce the same factor bits from the shared plan.
+  ASSERT_TRUE(warm.factor_csc().equals(cold.factor_csc()));
+}
+
+}  // namespace
+}  // namespace sympiler
