@@ -1,25 +1,49 @@
-// google-benchmark microbenchmarks for the mini-BLAS: the crossover
-// between the "Sympiler-generated" unrolled small kernels and the generic
-// blocked routines — the mechanism behind the paper's observation that
-// BLAS libraries are not well-optimized for the small blocks VS-Block
-// produces (section 4.2, citing Shin et al.).
-#include <benchmark/benchmark.h>
-
+// Numeric-kernel benchmark driver: the VS-Block half of the perf
+// trajectory, alongside BENCH_cache.json (symbolic half).
+//
+// Section 1 — dense kernel shapes. Every register-blocked kernel against
+// its `_ref` scalar reference at the block shapes the supernodal executors
+// actually produce (the acceptance shape is the supernodal gemm update,
+// m~64 k~16). GF/s for both tiers plus the speedup; the two tiers are
+// bit-identical (tests/test_blas.cpp), so this measures pure scheduling.
+//
+// Section 2 — multi-RHS kernel scaling. trsm_lower_multi throughput as the
+// packed block widens: the per-column dependency chains are identical to
+// trsv_lower, the win is panel reuse + unit-stride SIMD across RHS.
+//
+// Section 3 — end-to-end blocked solve_batch. api::Solver (supernodal
+// path) and api::TriangularSolver (blocked path): nrhs looped solve()
+// calls vs one blocked solve_batch(), bit-identical results.
+//
+// Results print as tables and land in BENCH_kernels.json for the per-PR
+// perf artifact. `--smoke` runs a reduced shape set with short reps (CI).
+#include <cstdio>
+#include <cstring>
 #include <random>
+#include <string>
 #include <vector>
 
+#include "api/solver.h"
+#include "bench/common.h"
 #include "blas/kernels.h"
+#include "gen/generators.h"
+#include "util/timer.h"
+
+using namespace sympiler;
 
 namespace {
 
-using sympiler::index_t;
-using sympiler::value_t;
+std::mt19937_64 g_rng(20260730);
 
-std::vector<value_t> spd(index_t n, unsigned seed) {
-  std::mt19937_64 rng(seed);
+std::vector<value_t> random_vec(std::size_t n) {
   std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-  std::vector<value_t> b(static_cast<std::size_t>(n) * n);
-  for (auto& v : b) v = dist(rng);
+  std::vector<value_t> v(n);
+  for (auto& x : v) x = dist(g_rng);
+  return v;
+}
+
+std::vector<value_t> random_spd_dense(index_t n) {
+  std::vector<value_t> b = random_vec(static_cast<std::size_t>(n) * n);
   std::vector<value_t> a(static_cast<std::size_t>(n) * n, 0.0);
   for (index_t i = 0; i < n; ++i)
     for (index_t j = 0; j < n; ++j) {
@@ -30,72 +54,351 @@ std::vector<value_t> spd(index_t n, unsigned seed) {
   return a;
 }
 
-void BM_PotrfGeneric(benchmark::State& state) {
-  const auto n = static_cast<index_t>(state.range(0));
-  const std::vector<value_t> a = spd(n, 1);
+/// Median seconds per call of fn, calling it `inner` times per sample.
+double kernel_seconds(const std::function<void()>& fn, int inner, int reps) {
+  fn();  // warm-up
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    for (int i = 0; i < inner; ++i) fn();
+    samples.push_back(t.seconds() / inner);
+  }
+  return median(samples);
+}
+
+struct KernelRow {
+  std::string name;
+  index_t m = 0, n = 0, k = 0;
+  double flops = 0.0;
+  double ref_seconds = 0.0;
+  double new_seconds = 0.0;
+  [[nodiscard]] double ref_gflops() const { return flops / ref_seconds / 1e9; }
+  [[nodiscard]] double new_gflops() const { return flops / new_seconds / 1e9; }
+  [[nodiscard]] double speedup() const { return ref_seconds / new_seconds; }
+};
+
+struct MultiRhsRow {
+  index_t n = 0, nrhs = 0;
+  double seconds = 0.0;   ///< per packed-block solve
+  double gflops = 0.0;
+  double per_rhs_vs_trsv = 0.0;  ///< trsv time / (block time / nrhs)
+};
+
+struct BatchRow {
+  std::string path;
+  index_t n = 0, nrhs = 0;
+  double looped_seconds = 0.0;
+  double blocked_seconds = 0.0;
+  [[nodiscard]] double speedup() const {
+    return looped_seconds / blocked_seconds;
+  }
+};
+
+int inner_iters(double flops, bool smoke) {
+  const double target = smoke ? 2e7 : 2e8;  // flops per timed sample
+  const double it = target / (flops > 0 ? flops : 1.0);
+  return static_cast<int>(it < 1 ? 1 : (it > 1e6 ? 1e6 : it));
+}
+
+KernelRow bench_gemm(index_t m, index_t n, index_t k, bool smoke) {
+  const std::vector<value_t> a = random_vec(static_cast<std::size_t>(m) * k);
+  const std::vector<value_t> b = random_vec(static_cast<std::size_t>(n) * k);
+  std::vector<value_t> c(static_cast<std::size_t>(m) * n, 0.0);
+  KernelRow row{"gemm_nt_minus", m, n, k, 2.0 * m * n * k, 0, 0};
+  const int inner = inner_iters(row.flops, smoke);
+  const int reps = smoke ? 3 : 5;
+  row.ref_seconds = kernel_seconds(
+      [&] {
+        blas::gemm_nt_minus_ref(m, n, k, a.data(), m, b.data(), n, c.data(),
+                                m);
+      },
+      inner, reps);
+  row.new_seconds = kernel_seconds(
+      [&] {
+        blas::gemm_nt_minus(m, n, k, a.data(), m, b.data(), n, c.data(), m);
+      },
+      inner, reps);
+  return row;
+}
+
+KernelRow bench_syrk(index_t n, index_t k, bool smoke) {
+  const std::vector<value_t> a = random_vec(static_cast<std::size_t>(n) * k);
+  std::vector<value_t> c(static_cast<std::size_t>(n) * n, 0.0);
+  KernelRow row{"syrk_lower_minus", n, n, k,
+                static_cast<double>(n) * (n + 1) * k, 0, 0};
+  const int inner = inner_iters(row.flops, smoke);
+  const int reps = smoke ? 3 : 5;
+  row.ref_seconds = kernel_seconds(
+      [&] { blas::syrk_lower_minus_ref(n, k, a.data(), n, c.data(), n); },
+      inner, reps);
+  row.new_seconds = kernel_seconds(
+      [&] { blas::syrk_lower_minus(n, k, a.data(), n, c.data(), n); }, inner,
+      reps);
+  return row;
+}
+
+KernelRow bench_potrf(index_t n, bool smoke) {
+  const std::vector<value_t> a = random_spd_dense(n);
   std::vector<value_t> l(a.size());
-  for (auto _ : state) {
-    l = a;
-    sympiler::blas::potrf_lower(n, l.data(), n);
-    benchmark::DoNotOptimize(l.data());
-  }
+  KernelRow row{"potrf_lower", n, n, n, n / 3.0 * n * n, 0, 0};
+  const int inner = inner_iters(row.flops + 8.0 * n * n, smoke);
+  const int reps = smoke ? 3 : 5;
+  row.ref_seconds = kernel_seconds(
+      [&] {
+        std::memcpy(l.data(), a.data(), a.size() * sizeof(value_t));
+        blas::potrf_lower_ref(n, l.data(), n);
+      },
+      inner, reps);
+  row.new_seconds = kernel_seconds(
+      [&] {
+        std::memcpy(l.data(), a.data(), a.size() * sizeof(value_t));
+        blas::potrf_lower(n, l.data(), n);
+      },
+      inner, reps);
+  return row;
 }
-BENCHMARK(BM_PotrfGeneric)->DenseRange(2, 8, 2)->Arg(16)->Arg(64);
 
-void BM_PotrfSmallDispatch(benchmark::State& state) {
-  const auto n = static_cast<index_t>(state.range(0));
-  const std::vector<value_t> a = spd(n, 1);
-  std::vector<value_t> l(a.size());
-  for (auto _ : state) {
-    l = a;
-    sympiler::blas::potrf_lower_small(n, l.data(), n);
-    benchmark::DoNotOptimize(l.data());
-  }
+KernelRow bench_trsm(index_t m, index_t n, bool smoke) {
+  std::vector<value_t> l = random_spd_dense(n);
+  blas::potrf_lower(n, l.data(), n);
+  const std::vector<value_t> b0 = random_vec(static_cast<std::size_t>(m) * n);
+  std::vector<value_t> b(b0.size());
+  KernelRow row{"trsm_right_lower_trans", m, n, n,
+                static_cast<double>(m) * n * n, 0, 0};
+  const int inner = inner_iters(row.flops + 8.0 * m * n, smoke);
+  const int reps = smoke ? 3 : 5;
+  row.ref_seconds = kernel_seconds(
+      [&] {
+        std::memcpy(b.data(), b0.data(), b.size() * sizeof(value_t));
+        blas::trsm_right_lower_trans_ref(m, n, l.data(), n, b.data(), m);
+      },
+      inner, reps);
+  row.new_seconds = kernel_seconds(
+      [&] {
+        std::memcpy(b.data(), b0.data(), b.size() * sizeof(value_t));
+        blas::trsm_right_lower_trans(m, n, l.data(), n, b.data(), m);
+      },
+      inner, reps);
+  return row;
 }
-BENCHMARK(BM_PotrfSmallDispatch)->DenseRange(2, 8, 2);
 
-void BM_TrsvGeneric(benchmark::State& state) {
-  const auto n = static_cast<index_t>(state.range(0));
-  std::vector<value_t> l = spd(n, 2);
-  sympiler::blas::potrf_lower(n, l.data(), n);
-  std::vector<value_t> x(static_cast<std::size_t>(n), 1.0);
-  for (auto _ : state) {
-    sympiler::blas::trsv_lower(n, l.data(), n, x.data());
-    benchmark::DoNotOptimize(x.data());
-  }
+KernelRow bench_gemv(index_t m, index_t n, bool smoke) {
+  const std::vector<value_t> a = random_vec(static_cast<std::size_t>(m) * n);
+  const std::vector<value_t> x = random_vec(static_cast<std::size_t>(n));
+  std::vector<value_t> y(static_cast<std::size_t>(m), 0.0);
+  KernelRow row{"gemv_minus", m, n, 1, 2.0 * m * n, 0, 0};
+  const int inner = inner_iters(row.flops, smoke);
+  const int reps = smoke ? 3 : 5;
+  row.ref_seconds = kernel_seconds(
+      [&] { blas::gemv_minus_ref(m, n, a.data(), m, x.data(), y.data()); },
+      inner, reps);
+  row.new_seconds = kernel_seconds(
+      [&] { blas::gemv_minus(m, n, a.data(), m, x.data(), y.data()); }, inner,
+      reps);
+  return row;
 }
-BENCHMARK(BM_TrsvGeneric)->DenseRange(2, 8, 2)->Arg(32);
 
-void BM_TrsvSmallDispatch(benchmark::State& state) {
-  const auto n = static_cast<index_t>(state.range(0));
-  std::vector<value_t> l = spd(n, 2);
-  sympiler::blas::potrf_lower(n, l.data(), n);
-  std::vector<value_t> x(static_cast<std::size_t>(n), 1.0);
-  for (auto _ : state) {
-    sympiler::blas::trsv_lower_small(n, l.data(), n, x.data());
-    benchmark::DoNotOptimize(x.data());
-  }
+MultiRhsRow bench_trsm_multi(index_t n, index_t nrhs, double trsv_seconds,
+                             bool smoke) {
+  std::vector<value_t> l = random_spd_dense(n);
+  blas::potrf_lower(n, l.data(), n);
+  const std::vector<value_t> x0 =
+      random_vec(static_cast<std::size_t>(n) * nrhs);
+  std::vector<value_t> x(x0.size());
+  MultiRhsRow row{n, nrhs, 0, 0, 0};
+  const double flops = static_cast<double>(n) * n * nrhs;
+  const int inner = inner_iters(flops + 8.0 * n * nrhs, smoke);
+  const int reps = smoke ? 3 : 5;
+  row.seconds = kernel_seconds(
+      [&] {
+        std::memcpy(x.data(), x0.data(), x.size() * sizeof(value_t));
+        blas::trsm_lower_multi(n, nrhs, l.data(), n, x.data(), nrhs);
+      },
+      inner, reps);
+  row.gflops = flops / row.seconds / 1e9;
+  row.per_rhs_vs_trsv = trsv_seconds / (row.seconds / nrhs);
+  return row;
 }
-BENCHMARK(BM_TrsvSmallDispatch)->DenseRange(2, 8, 2);
 
-void BM_GemmNt(benchmark::State& state) {
-  const auto m = static_cast<index_t>(state.range(0));
-  const auto k = static_cast<index_t>(state.range(1));
-  std::mt19937_64 rng(3);
-  std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-  std::vector<value_t> a(static_cast<std::size_t>(m) * k);
-  for (auto& v : a) v = dist(rng);
-  std::vector<value_t> c(static_cast<std::size_t>(m) * m, 0.0);
-  for (auto _ : state) {
-    sympiler::blas::gemm_nt_minus(m, m, k, a.data(), m, a.data(), m, c.data(),
-                                  m);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * static_cast<int64_t>(m) *
-                          m * k);
+BatchRow bench_solver_batch(const CscMatrix& a, const char* label,
+                            index_t nrhs, bool smoke) {
+  api::SolverConfig config;
+  config.enable_parallel = false;  // measure the blocked kernels themselves
+  api::Solver solver(config, nullptr);
+  solver.factor(a);
+  const auto n = static_cast<std::size_t>(a.cols());
+  const std::vector<value_t> base = random_vec(n * nrhs);
+  std::vector<value_t> xs(base.size());
+  BatchRow row{std::string(label) + "/" + api::to_string(solver.path()),
+               a.cols(), nrhs, 0, 0};
+  const int reps = smoke ? 3 : 5;
+  row.looped_seconds = bench::median_seconds(
+      [&] {
+        std::memcpy(xs.data(), base.data(), xs.size() * sizeof(value_t));
+        for (index_t r = 0; r < nrhs; ++r)
+          solver.solve(std::span<value_t>(xs).subspan(r * n, n));
+      },
+      reps);
+  row.blocked_seconds = bench::median_seconds(
+      [&] {
+        std::memcpy(xs.data(), base.data(), xs.size() * sizeof(value_t));
+        solver.solve_batch(xs, nrhs);
+      },
+      reps);
+  return row;
 }
-BENCHMARK(BM_GemmNt)->Args({8, 8})->Args({32, 8})->Args({64, 32})->Args({128, 64});
+
+BatchRow bench_trisolve_batch(const CscMatrix& a, index_t nrhs, bool smoke) {
+  api::SolverConfig config;
+  config.enable_parallel = false;
+  api::Solver chol(config, nullptr);
+  chol.factor(a);
+  const CscMatrix l = chol.factor_csc();
+  std::vector<index_t> beta(static_cast<std::size_t>(l.cols()));
+  for (index_t j = 0; j < l.cols(); ++j) beta[j] = j;  // dense RHS pattern
+  api::TriangularSolver tri(l, beta, config, nullptr);
+  const auto n = static_cast<std::size_t>(l.cols());
+  const std::vector<value_t> base = random_vec(n * nrhs);
+  std::vector<value_t> xs(base.size());
+  BatchRow row{std::string("trisolve/") + api::to_string(tri.path()), l.cols(),
+               nrhs, 0, 0};
+  const int reps = smoke ? 3 : 5;
+  row.looped_seconds = bench::median_seconds(
+      [&] {
+        std::memcpy(xs.data(), base.data(), xs.size() * sizeof(value_t));
+        for (index_t r = 0; r < nrhs; ++r)
+          tri.solve(std::span<value_t>(xs).subspan(r * n, n));
+      },
+      reps);
+  row.blocked_seconds = bench::median_seconds(
+      [&] {
+        std::memcpy(xs.data(), base.data(), xs.size() * sizeof(value_t));
+        tri.solve_batch(xs, nrhs);
+      },
+      reps);
+  return row;
+}
+
+void emit_json(const std::vector<KernelRow>& kernels,
+               const std::vector<MultiRhsRow>& multi,
+               const std::vector<BatchRow>& batches) {
+  std::FILE* f = std::fopen("BENCH_kernels.json", "w");
+  if (f == nullptr) {
+    std::printf("!! could not open BENCH_kernels.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"kernels\": [\n");
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelRow& r = kernels[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"m\": %d, \"n\": %d, \"k\": %d, "
+                 "\"ref_gflops\": %.3f, \"blocked_gflops\": %.3f, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.name.c_str(), r.m, r.n, r.k, r.ref_gflops(),
+                 r.new_gflops(), r.speedup(),
+                 i + 1 < kernels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"multi_rhs\": [\n");
+  for (std::size_t i = 0; i < multi.size(); ++i) {
+    const MultiRhsRow& r = multi[i];
+    std::fprintf(f,
+                 "    {\"n\": %d, \"nrhs\": %d, \"gflops\": %.3f, "
+                 "\"per_rhs_speedup_vs_trsv\": %.3f}%s\n",
+                 r.n, r.nrhs, r.gflops, r.per_rhs_vs_trsv,
+                 i + 1 < multi.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"solve_batch\": [\n");
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const BatchRow& r = batches[i];
+    std::fprintf(f,
+                 "    {\"path\": \"%s\", \"n\": %d, \"nrhs\": %d, "
+                 "\"looped_seconds\": %.6f, \"blocked_seconds\": %.6f, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.path.c_str(), r.n, r.nrhs, r.looped_seconds,
+                 r.blocked_seconds, r.speedup(),
+                 i + 1 < batches.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_kernels.json\n");
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+
+  std::printf("== dense kernels: register-blocked vs _ref scalar ==\n");
+  std::printf("%-24s %5s %5s %5s   %9s %9s %8s\n", "kernel", "m", "n", "k",
+              "ref GF/s", "new GF/s", "speedup");
+  bench::print_rule(78);
+  std::vector<KernelRow> kernels;
+  // The supernodal gemm-update shape (acceptance criterion) first.
+  kernels.push_back(bench_gemm(64, 16, 16, smoke));
+  if (!smoke) {
+    kernels.push_back(bench_gemm(16, 8, 8, smoke));
+    kernels.push_back(bench_gemm(32, 16, 8, smoke));
+    kernels.push_back(bench_gemm(64, 32, 16, smoke));
+    kernels.push_back(bench_gemm(128, 32, 32, smoke));
+    kernels.push_back(bench_gemm(192, 64, 32, smoke));
+  } else {
+    kernels.push_back(bench_gemm(128, 32, 32, smoke));
+  }
+  kernels.push_back(bench_syrk(64, 16, smoke));
+  kernels.push_back(bench_potrf(smoke ? 32 : 64, smoke));
+  if (!smoke) kernels.push_back(bench_potrf(128, smoke));
+  kernels.push_back(bench_trsm(64, 16, smoke));
+  if (!smoke) kernels.push_back(bench_trsm(128, 32, smoke));
+  kernels.push_back(bench_gemv(64, 16, smoke));
+  for (const KernelRow& r : kernels)
+    std::printf("%-24s %5d %5d %5d   %9.2f %9.2f %7.2fx\n", r.name.c_str(),
+                r.m, r.n, r.k, r.ref_gflops(), r.new_gflops(), r.speedup());
+
+  std::printf("\n== multi-RHS kernel scaling (trsm_lower_multi, n=64) ==\n");
+  std::printf("%5s %6s   %9s %22s\n", "n", "nrhs", "GF/s", "per-RHS vs trsv");
+  bench::print_rule(50);
+  const index_t tn = 64;
+  std::vector<value_t> tl = random_spd_dense(tn);
+  blas::potrf_lower(tn, tl.data(), tn);
+  const std::vector<value_t> tx0 = random_vec(static_cast<std::size_t>(tn));
+  std::vector<value_t> tx(tx0.size());
+  const double trsv_seconds = kernel_seconds(
+      [&] {
+        // Restore before each solve: repeated in-place L^{-1} application
+        // would walk the values into denormal/inf territory and poison the
+        // timing.
+        std::memcpy(tx.data(), tx0.data(), tx.size() * sizeof(value_t));
+        blas::trsv_lower(tn, tl.data(), tn, tx.data());
+      },
+      inner_iters(static_cast<double>(tn) * tn, smoke), smoke ? 3 : 5);
+  std::vector<MultiRhsRow> multi;
+  for (const index_t nrhs : {1, 4, 8, 16, 32})
+    multi.push_back(bench_trsm_multi(tn, nrhs, trsv_seconds, smoke));
+  for (const MultiRhsRow& r : multi)
+    std::printf("%5d %6d   %9.2f %21.2fx\n", r.n, r.nrhs, r.gflops,
+                r.per_rhs_vs_trsv);
+
+  std::printf("\n== end-to-end solve_batch: blocked vs looped ==\n");
+  std::printf("%-32s %7s %6s   %10s %10s %8s\n", "path", "n", "nrhs",
+              "looped s", "blocked s", "speedup");
+  bench::print_rule(82);
+  std::vector<BatchRow> batches;
+  const index_t g = smoke ? 60 : 110;
+  const CscMatrix mesh = gen::grid2d_laplacian(g, g);
+  batches.push_back(bench_solver_batch(mesh, "cholesky", 64, smoke));
+  if (!smoke) {
+    batches.push_back(bench_solver_batch(mesh, "cholesky", 16, smoke));
+    const CscMatrix blocks = gen::block_structural(26, 26, 4, 7);
+    batches.push_back(bench_solver_batch(blocks, "cholesky", 64, smoke));
+  }
+  batches.push_back(bench_trisolve_batch(mesh, 64, smoke));
+  for (const BatchRow& r : batches)
+    std::printf("%-32s %7d %6d   %10.5f %10.5f %7.2fx\n", r.path.c_str(), r.n,
+                r.nrhs, r.looped_seconds, r.blocked_seconds, r.speedup());
+
+  emit_json(kernels, multi, batches);
+  return 0;
+}

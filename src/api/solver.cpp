@@ -1,5 +1,6 @@
 #include "api/solver.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "parallel/levelset.h"
@@ -59,6 +60,16 @@ void Solver::prepare_symbolic(const CscMatrix& a_lower) {
   if (plan_->path == ExecutionPath::ParallelSupernodal) {
     panels_.assign(
         static_cast<std::size_t>(plan_->sets.layout.total_values()), 0.0);
+    // Single-RHS panel-solve tail scratch only (the batch path uses
+    // per-thread workspaces inside blocked_panel_solve_batch, and the
+    // parallel factorization its own thread-local ones).
+    core::WorkspaceDims dims = plan_->workspace;
+    dims.rhs_block = 0;
+    dims.max_panel_rows = 0;
+    dims.max_panel_width = 0;
+    dims.need_map = false;
+    dims.need_dense = false;
+    ws_.ensure(dims);
     executor_.reset();
   } else {
     executor_ = std::make_unique<core::CholeskyExecutor>(plan_);
@@ -73,8 +84,8 @@ void Solver::solve(std::span<value_t> bx) const {
                      static_cast<index_t>(plan_->sets.sym.parent.size()),
                  "solver: RHS size mismatch");
   if (plan_->path == ExecutionPath::ParallelSupernodal) {
-    solvers::panel_forward_solve(plan_->sets.layout, panels_, bx);
-    solvers::panel_backward_solve(plan_->sets.layout, panels_, bx);
+    solvers::panel_forward_solve(plan_->sets.layout, panels_, bx, ws_.tail());
+    solvers::panel_backward_solve(plan_->sets.layout, panels_, bx, ws_.tail());
   } else {
     executor_->solve(bx);
   }
@@ -86,26 +97,33 @@ void Solver::solve_batch(std::span<value_t> bx, index_t nrhs) const {
   const std::size_t n = plan_->sets.sym.parent.size();
   SYMPILER_CHECK(bx.size() == n * static_cast<std::size_t>(nrhs),
                  "solver: batch size mismatch");
-  // RHS columns are independent; every solve path reads only immutable
-  // factor state (the panel solves use local scratch), so the batch
-  // parallelizes embarrassingly.
-#ifdef SYMPILER_HAS_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-  for (index_t r = 0; r < nrhs; ++r)
-    solve(bx.subspan(static_cast<std::size_t>(r) * n, n));
+  // Thin dispatch on the plan's path: both supernodal interpreters share
+  // the factored panels, so the batch lowers onto packed RHS blocks swept
+  // through the multi-RHS panel kernels (blocks run in parallel under
+  // OpenMP, with per-thread plan-sized workspaces).
+  if (plan_->path == ExecutionPath::ParallelSupernodal) {
+    core::blocked_panel_solve_batch(plan_->sets.layout, panels_,
+                                    plan_->workspace, bx, nrhs);
+  } else {
+    executor_->solve_batch(bx, nrhs);
+  }
 }
 
 void Solver::solve_batch(std::vector<std::vector<value_t>>& rhs) const {
   SYMPILER_CHECK(factorized_, "solver: solve_batch() before factor()");
+  const std::size_t n = plan_->sets.sym.parent.size();
   for (const std::vector<value_t>& r : rhs)
-    SYMPILER_CHECK(r.size() == plan_->sets.sym.parent.size(),
-                   "solver: RHS size mismatch");
-#ifdef SYMPILER_HAS_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
+    SYMPILER_CHECK(r.size() == n, "solver: RHS size mismatch");
+  // Gather the scattered columns into one contiguous batch so they ride
+  // the blocked (and OpenMP-parallel) span path; one O(n * nrhs) copy
+  // each way is noise next to the solves.
+  std::vector<value_t> flat(n * rhs.size());
   for (std::size_t r = 0; r < rhs.size(); ++r)
-    solve(std::span<value_t>(rhs[r]));
+    std::copy(rhs[r].begin(), rhs[r].end(), flat.begin() + r * n);
+  solve_batch(flat, static_cast<index_t>(rhs.size()));
+  for (std::size_t r = 0; r < rhs.size(); ++r)
+    std::copy(flat.begin() + r * n, flat.begin() + (r + 1) * n,
+              rhs[r].begin());
 }
 
 CscMatrix Solver::factor_csc() const {
@@ -170,10 +188,17 @@ void TriangularSolver::solve_batch(std::span<value_t> xs, index_t nrhs) const {
   const std::size_t n = static_cast<std::size_t>(n_);
   SYMPILER_CHECK(xs.size() == n * static_cast<std::size_t>(nrhs),
                  "triangular solver: batch size mismatch");
-  // TriSolveExecutor::solve shares a mutable gather buffer; the batch runs
-  // sequentially (the executor is not one-solver-many-threads safe).
-  for (index_t r = 0; r < nrhs; ++r)
-    solve(xs.subspan(static_cast<std::size_t>(r) * n, n));
+  if (executor_.plan().path == ExecutionPath::ParallelTriSolve) {
+    // Level-set path: each RHS is itself a parallel solve; run them back
+    // to back.
+    for (index_t r = 0; r < nrhs; ++r)
+      solve(xs.subspan(static_cast<std::size_t>(r) * n, n));
+    return;
+  }
+  // Sequential paths: the executor tiles the batch into packed RHS blocks
+  // on its BlockedTriSolve path (bit-identical per column to looped
+  // solve()), and loops on the pruned path.
+  executor_.solve_batch(xs, nrhs);
 }
 
 CacheStats TriangularSolver::cache_stats() const {

@@ -25,6 +25,7 @@
 #include "core/planner.h"
 #include "core/symbolic_cache.h"
 #include "core/trisolve_executor.h"
+#include "core/workspace.h"
 #include "sparse/csc.h"
 #include "util/common.h"
 #include "util/stats.h"
@@ -105,15 +106,23 @@ class Solver {
   /// the O(nnz) key hash.
   void factor(const CscMatrix& a_lower);
 
-  /// Solve A x = b in place (requires factor()).
+  /// Solve A x = b in place (requires factor()). Borrows the Solver's
+  /// plan-sized workspace: logically const but not concurrently callable
+  /// on one Solver — use solve_batch for many RHS.
   void solve(std::span<value_t> bx) const;
 
   /// Multi-RHS solve: `bx` holds nrhs column-major dense right-hand sides
-  /// of length n; solutions overwrite them. RHS columns are independent
-  /// and solved in parallel under OpenMP builds.
+  /// of length n; solutions overwrite them. On the supernodal paths the
+  /// batch is tiled into packed RHS blocks lowered onto the multi-RHS
+  /// panel kernels (trsm_lower_multi + gemm_minus_multi), bit-identical
+  /// per column to looped solve() calls and parallel over blocks under
+  /// OpenMP builds.
   void solve_batch(std::span<value_t> bx, index_t nrhs) const;
 
-  /// Convenience multi-RHS overload.
+  /// Convenience multi-RHS overload: gathers the scattered columns into
+  /// one contiguous batch (allocating O(n * nrhs) per call), runs the
+  /// blocked span overload, and scatters the solutions back. Prefer the
+  /// span overload on hot paths.
   void solve_batch(std::vector<std::vector<value_t>>& rhs) const;
 
   /// Extract L as CSC (requires factor()).
@@ -148,9 +157,11 @@ class Solver {
   std::shared_ptr<const core::CholeskyPlan> plan_;
 
   // Sequential paths run through the executor; the parallel path
-  // interprets the plan's level schedule into panels_ directly.
+  // interprets the plan's level schedule into panels_ directly and uses
+  // ws_ for its panel-solve scratch (mutable: solve() is logically const).
   std::unique_ptr<core::CholeskyExecutor> executor_;
   std::vector<value_t> panels_;
+  mutable core::Workspace ws_;
   bool factorized_ = false;
 };
 

@@ -2,9 +2,26 @@
 
 #include <cmath>
 
+// The blocked kernels below are written against one invariant: every
+// element's value is produced by the exact operation sequence of the `_ref`
+// kernel (terms applied one at a time, ascending reduction index, scale
+// last). Register blocking changes *where* intermediate values live (tile
+// accumulators instead of memory), never the per-element sequence, so the
+// results are bit-identical on targets without FP contraction — and the
+// build never enables -ffast-math or per-TU contraction differences.
+#define SYMPILER_RESTRICT __restrict__
+
 namespace sympiler::blas {
 
 namespace {
+
+// Micro-tile geometry. 8x4 double tiles keep the hot gemm loop inside the
+// SSE2 register file (with predictable spills GCC schedules well) and give
+// the vectorizer fixed-width unit-stride inner loops.
+constexpr index_t kMr = 8;  ///< micro-tile rows (C / solution vectors)
+constexpr index_t kNr = 4;  ///< micro-tile cols (C) / unrolled chains
+constexpr index_t kDiagBlock = 8;  ///< potrf/trsv/trsm diagonal block size
+constexpr index_t kRhsVec = 8;     ///< multi-RHS register-vector width
 
 // ---------------------------------------------------------------------------
 // Unrolled compile-time-sized kernels ("Sympiler-generated" small kernels).
@@ -36,28 +53,103 @@ void trsv_unrolled(const value_t* l, index_t lda, value_t* x) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// GEMM micro-kernels: an MR x NR tile of C rides in registers across the
+// whole k reduction; each accumulator element applies its terms one at a
+// time in ascending p — the _ref order.
+// ---------------------------------------------------------------------------
+
+template <int MR, int NR>
+void gemm_tile(index_t k, const value_t* SYMPILER_RESTRICT a, index_t lda,
+               const value_t* SYMPILER_RESTRICT b, index_t ldb,
+               value_t* SYMPILER_RESTRICT c, index_t ldc) {
+  value_t acc[NR][MR];
+  for (int j = 0; j < NR; ++j)
+    for (int i = 0; i < MR; ++i) acc[j][i] = c[i + j * ldc];
+  for (index_t p = 0; p < k; ++p) {
+    const value_t* SYMPILER_RESTRICT ap = a + p * lda;
+    value_t av[MR];
+    for (int i = 0; i < MR; ++i) av[i] = ap[i];
+    for (int j = 0; j < NR; ++j) {
+      const value_t bv = b[j + p * ldb];
+      for (int i = 0; i < MR; ++i) acc[j][i] -= av[i] * bv;
+    }
+  }
+  for (int j = 0; j < NR; ++j)
+    for (int i = 0; i < MR; ++i) c[i + j * ldc] = acc[j][i];
+}
+
+template <int NR>
+void gemm_col_strip(index_t m, index_t k, const value_t* a, index_t lda,
+                    const value_t* b, index_t ldb, value_t* c, index_t ldc) {
+  index_t i = 0;
+  for (; i + 2 * kMr <= m; i += 2 * kMr)
+    gemm_tile<2 * kMr, NR>(k, a + i, lda, b, ldb, c + i, ldc);
+  if (i + kMr <= m) {
+    gemm_tile<kMr, NR>(k, a + i, lda, b, ldb, c + i, ldc);
+    i += kMr;
+  }
+  if (i + 4 <= m) {
+    gemm_tile<4, NR>(k, a + i, lda, b, ldb, c + i, ldc);
+    i += 4;
+  }
+  if (i + 2 <= m) {
+    gemm_tile<2, NR>(k, a + i, lda, b, ldb, c + i, ldc);
+    i += 2;
+  }
+  if (i < m) gemm_tile<1, NR>(k, a + i, lda, b, ldb, c + i, ldc);
+}
+
+// Unblocked in-block bodies shared by the blocked triangular kernels.
+
+void trsv_lower_unblocked(index_t n, const value_t* l, index_t lda,
+                          value_t* x) {
+  for (index_t j = 0; j < n; ++j) {
+    const value_t piv = l[j + j * lda];
+    if (piv == 0.0) throw numerical_error("trsv: zero diagonal");
+    const value_t xj = x[j] / piv;
+    x[j] = xj;
+    const value_t* col = l + j * lda;
+    for (index_t i = j + 1; i < n; ++i) x[i] -= col[i] * xj;
+  }
+}
+
+void trsm_rlt_unblocked(index_t m, index_t n, const value_t* l, index_t ldl,
+                        value_t* b, index_t ldb) {
+  for (index_t j = 0; j < n; ++j) {
+    value_t* SYMPILER_RESTRICT bj = b + j * ldb;
+    for (index_t k = 0; k < j; ++k) {
+      const value_t ljk = l[j + k * ldl];
+      const value_t* SYMPILER_RESTRICT bk = b + k * ldb;
+      for (index_t i = 0; i < m; ++i) bj[i] -= ljk * bk[i];
+    }
+    const value_t piv = l[j + j * ldl];
+    if (piv == 0.0) throw numerical_error("trsm: zero diagonal");
+    const value_t inv = 1.0 / piv;
+    for (index_t i = 0; i < m; ++i) bj[i] *= inv;
+  }
+}
+
 }  // namespace
 
+// ------------------------------------------------------------------ potrf
+
 void potrf_lower(index_t n, value_t* a, index_t lda) {
-  // Unblocked left-looking; adequate for supernode diagonal blocks which
-  // are capped by SupernodeOptions::max_width.
-  for (index_t j = 0; j < n; ++j) {
-    value_t d = a[j + j * lda];
-    const value_t* aj = a + j;
-    for (index_t k = 0; k < j; ++k) d -= aj[k * lda] * aj[k * lda];
-    if (!(d > 0.0)) throw numerical_error("potrf: non-positive pivot");
-    const value_t djj = std::sqrt(d);
-    a[j + j * lda] = djj;
-    const value_t inv = 1.0 / djj;
-    // Rank-j update of the sub-column, then scale.
-    for (index_t k = 0; k < j; ++k) {
-      const value_t ljk = a[j + k * lda];
-      const value_t* col = a + k * lda;
-      value_t* dst = a + j * lda;
-      for (index_t i = j + 1; i < n; ++i) dst[i] -= col[i] * ljk;
+  // Blocked right-looking: unrolled diagonal factorization, panel TRSM,
+  // register-tiled SYRK trailing update. Every element still receives its
+  // rank-k terms in ascending k (blocks of kDiagBlock are contiguous
+  // ascending ranges), then scales — the _ref order.
+  for (index_t k0 = 0; k0 < n; k0 += kDiagBlock) {
+    const index_t nb = std::min(kDiagBlock, n - k0);
+    value_t* akk = a + k0 + k0 * lda;
+    potrf_lower_small(nb, akk, lda);
+    const index_t rem = n - k0 - nb;
+    if (rem > 0) {
+      value_t* apanel = a + (k0 + nb) + k0 * lda;
+      trsm_right_lower_trans(rem, nb, akk, lda, apanel, lda);
+      syrk_lower_minus(rem, nb, apanel, lda,
+                       a + (k0 + nb) + (k0 + nb) * lda, lda);
     }
-    value_t* dst = a + j * lda;
-    for (index_t i = j + 1; i < n; ++i) dst[i] *= inv;
   }
 }
 
@@ -76,14 +168,18 @@ void potrf_lower_small(index_t n, value_t* a, index_t lda) {
   }
 }
 
+// ------------------------------------------------------------------- trsv
+
 void trsv_lower(index_t n, const value_t* l, index_t lda, value_t* x) {
-  for (index_t j = 0; j < n; ++j) {
-    const value_t piv = l[j + j * lda];
-    if (piv == 0.0) throw numerical_error("trsv: zero diagonal");
-    const value_t xj = x[j] / piv;
-    x[j] = xj;
-    const value_t* col = l + j * lda;
-    for (index_t i = j + 1; i < n; ++i) x[i] -= col[i] * xj;
+  // Blocked forward substitution: solve a diagonal block, push its
+  // contribution into the remaining rows with the register-tiled gemv.
+  for (index_t j0 = 0; j0 < n; j0 += kDiagBlock) {
+    const index_t nb = std::min(kDiagBlock, n - j0);
+    trsv_lower_unblocked(nb, l + j0 + j0 * lda, lda, x + j0);
+    const index_t rem = n - j0 - nb;
+    if (rem > 0)
+      gemv_minus(rem, nb, l + (j0 + nb) + j0 * lda, lda, x + j0,
+                 x + j0 + nb);
   }
 }
 
@@ -106,6 +202,9 @@ void trsv_lower_small(index_t n, const value_t* l, index_t lda, value_t* x) {
 
 void trsv_lower_transpose(index_t n, const value_t* l, index_t lda,
                           value_t* x) {
+  // The backward reduction is one serial accumulator chain per element;
+  // there is no reordering-free blocking to apply — same loop nest as the
+  // reference, compiled with this TU's vector flags.
   for (index_t j = n - 1; j >= 0; --j) {
     const value_t* col = l + j * lda;
     value_t s = x[j];
@@ -116,86 +215,251 @@ void trsv_lower_transpose(index_t n, const value_t* l, index_t lda,
   }
 }
 
+// ------------------------------------------------------------------- trsm
+
 void trsm_right_lower_trans(index_t m, index_t n, const value_t* l,
                             index_t ldl, value_t* b, index_t ldb) {
-  // X L^T = B  =>  X(:,j) = (B(:,j) - sum_{k<j} X(:,k) L(j,k)) / L(j,j)
-  for (index_t j = 0; j < n; ++j) {
-    value_t* bj = b + j * ldb;
-    for (index_t k = 0; k < j; ++k) {
-      const value_t ljk = l[j + k * ldl];
-      if (ljk == 0.0) continue;
-      const value_t* bk = b + k * ldb;
-      for (index_t i = 0; i < m; ++i) bj[i] -= ljk * bk[i];
-    }
-    const value_t piv = l[j + j * ldl];
-    if (piv == 0.0) throw numerical_error("trsm: zero diagonal");
-    const value_t inv = 1.0 / piv;
-    for (index_t i = 0; i < m; ++i) bj[i] *= inv;
+  // X L^T = B, blocked over column panels of B: columns [0, j0) are final
+  // when panel [j0, j0+nb) starts, so their contribution is one
+  // register-tiled GEMM (ascending k — the _ref subtraction order), then
+  // the panel solves against the diagonal block.
+  for (index_t j0 = 0; j0 < n; j0 += kDiagBlock) {
+    const index_t nb = std::min(kDiagBlock, n - j0);
+    if (j0 > 0)
+      gemm_nt_minus(m, nb, j0, b, ldb, l + j0, ldl, b + j0 * ldb, ldb);
+    trsm_rlt_unblocked(m, nb, l + j0 + j0 * ldl, ldl, b + j0 * ldb, ldb);
   }
 }
+
+// ------------------------------------------------------------ gemm / syrk
 
 void gemm_nt_minus(index_t m, index_t n, index_t k, const value_t* a,
                    index_t lda, const value_t* b, index_t ldb, value_t* c,
                    index_t ldc) {
-  // Register-tiled over 2 columns of C; the k-loop is the innermost
-  // reduction over columns of A/B (unit-stride in i, so GCC vectorizes the
-  // i-loop). Layout: C(i,j) -= sum_p A(i,p) * B(j,p).
   index_t j = 0;
-  for (; j + 1 < n; j += 2) {
-    value_t* c0 = c + j * ldc;
-    value_t* c1 = c + (j + 1) * ldc;
-    for (index_t p = 0; p < k; ++p) {
-      const value_t b0 = b[j + p * ldb];
-      const value_t b1 = b[j + 1 + p * ldb];
-      const value_t* ap = a + p * lda;
-      for (index_t i = 0; i < m; ++i) {
-        const value_t av = ap[i];
-        c0[i] -= av * b0;
-        c1[i] -= av * b1;
-      }
-    }
+  for (; j + kNr <= n; j += kNr)
+    gemm_col_strip<kNr>(m, k, a, lda, b + j, ldb, c + j * ldc, ldc);
+  if (j + 2 <= n) {
+    gemm_col_strip<2>(m, k, a, lda, b + j, ldb, c + j * ldc, ldc);
+    j += 2;
   }
-  for (; j < n; ++j) {
-    value_t* c0 = c + j * ldc;
-    for (index_t p = 0; p < k; ++p) {
-      const value_t b0 = b[j + p * ldb];
-      if (b0 == 0.0) continue;
-      const value_t* ap = a + p * lda;
-      for (index_t i = 0; i < m; ++i) c0[i] -= ap[i] * b0;
-    }
-  }
+  if (j < n) gemm_col_strip<1>(m, k, a, lda, b + j, ldb, c + j * ldc, ldc);
 }
 
 void syrk_lower_minus(index_t n, index_t k, const value_t* a, index_t lda,
                       value_t* c, index_t ldc) {
-  for (index_t j = 0; j < n; ++j) {
-    value_t* cj = c + j * ldc;
-    for (index_t p = 0; p < k; ++p) {
-      const value_t ajp = a[j + p * lda];
-      if (ajp == 0.0) continue;
-      const value_t* ap = a + p * lda;
-      for (index_t i = j; i < n; ++i) cj[i] -= ap[i] * ajp;
+  // Column strips of kNr: a small triangular wedge at the diagonal in _ref
+  // order, a register-tiled GEMM for everything below it.
+  for (index_t j0 = 0; j0 < n; j0 += kNr) {
+    const index_t nb = std::min(kNr, n - j0);
+    for (index_t j = j0; j < j0 + nb; ++j) {
+      value_t* cj = c + j * ldc;
+      for (index_t p = 0; p < k; ++p) {
+        const value_t ajp = a[j + p * lda];
+        const value_t* ap = a + p * lda;
+        for (index_t i = j; i < j0 + nb; ++i) cj[i] -= ap[i] * ajp;
+      }
     }
+    const index_t rem = n - (j0 + nb);
+    if (rem > 0)
+      gemm_nt_minus(rem, nb, k, a + j0 + nb, lda, a + j0, lda,
+                    c + (j0 + nb) + j0 * ldc, ldc);
   }
 }
 
+// ------------------------------------------------------------------- gemv
+
 void gemv_minus(index_t m, index_t n, const value_t* a, index_t lda,
                 const value_t* x, value_t* y) {
-  for (index_t j = 0; j < n; ++j) {
+  // Column groups of kNr share one pass over y (loaded and stored once per
+  // group instead of once per column); per element the terms still apply
+  // in ascending j — the _ref order.
+  index_t j = 0;
+  for (; j + kNr <= n; j += kNr) {
+    const value_t* SYMPILER_RESTRICT c0 = a + j * lda;
+    const value_t* SYMPILER_RESTRICT c1 = a + (j + 1) * lda;
+    const value_t* SYMPILER_RESTRICT c2 = a + (j + 2) * lda;
+    const value_t* SYMPILER_RESTRICT c3 = a + (j + 3) * lda;
+    const value_t x0 = x[j], x1 = x[j + 1], x2 = x[j + 2], x3 = x[j + 3];
+    value_t* SYMPILER_RESTRICT yp = y;
+    for (index_t i = 0; i < m; ++i) {
+      value_t t = yp[i];
+      t -= c0[i] * x0;
+      t -= c1[i] * x1;
+      t -= c2[i] * x2;
+      t -= c3[i] * x3;
+      yp[i] = t;
+    }
+  }
+  for (; j < n; ++j) {
     const value_t xj = x[j];
-    if (xj == 0.0) continue;
-    const value_t* col = a + j * lda;
+    const value_t* SYMPILER_RESTRICT col = a + j * lda;
     for (index_t i = 0; i < m; ++i) y[i] -= col[i] * xj;
   }
 }
 
 void gemv_trans_minus(index_t m, index_t n, const value_t* a, index_t lda,
                       const value_t* x, value_t* y) {
-  for (index_t j = 0; j < n; ++j) {
+  // kNr independent accumulator chains at a time (x loaded once per group);
+  // each chain accumulates ascending i then subtracts once — _ref order.
+  index_t j = 0;
+  for (; j + kNr <= n; j += kNr) {
+    const value_t* SYMPILER_RESTRICT c0 = a + j * lda;
+    const value_t* SYMPILER_RESTRICT c1 = a + (j + 1) * lda;
+    const value_t* SYMPILER_RESTRICT c2 = a + (j + 2) * lda;
+    const value_t* SYMPILER_RESTRICT c3 = a + (j + 3) * lda;
+    value_t s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (index_t i = 0; i < m; ++i) {
+      const value_t xi = x[i];
+      s0 += c0[i] * xi;
+      s1 += c1[i] * xi;
+      s2 += c2[i] * xi;
+      s3 += c3[i] * xi;
+    }
+    y[j] -= s0;
+    y[j + 1] -= s1;
+    y[j + 2] -= s2;
+    y[j + 3] -= s3;
+  }
+  for (; j < n; ++j) {
     const value_t* col = a + j * lda;
     value_t s = 0.0;
     for (index_t i = 0; i < m; ++i) s += col[i] * x[i];
     y[j] -= s;
+  }
+}
+
+// -------------------------------------------------------------- multi-RHS
+
+void trsm_lower_multi(index_t n, index_t nrhs, const value_t* l, index_t lda,
+                      value_t* x, index_t ldx) {
+  SYMPILER_CHECK(nrhs <= kRhsBlockMax, "trsm multi: RHS block too wide");
+  for (index_t j = 0; j < n; ++j) {
+    const value_t piv = l[j + j * lda];
+    if (piv == 0.0) throw numerical_error("trsm_lower_multi: zero diagonal");
+    value_t* SYMPILER_RESTRICT xj = x + j * ldx;
+    for (index_t r = 0; r < nrhs; ++r) xj[r] /= piv;
+    const value_t* col = l + j * lda;
+    for (index_t i = j + 1; i < n; ++i) {
+      const value_t lij = col[i];
+      value_t* SYMPILER_RESTRICT xi = x + i * ldx;
+      for (index_t r = 0; r < nrhs; ++r) xi[r] -= lij * xj[r];
+    }
+  }
+}
+
+void trsm_lower_transpose_multi(index_t n, index_t nrhs, const value_t* l,
+                                index_t lda, value_t* x, index_t ldx) {
+  SYMPILER_CHECK(nrhs <= kRhsBlockMax, "trsm^T multi: RHS block too wide");
+  value_t s[kRhsBlockMax];
+  for (index_t j = n - 1; j >= 0; --j) {
+    const value_t* col = l + j * lda;
+    value_t* SYMPILER_RESTRICT xj = x + j * ldx;
+    for (index_t r = 0; r < nrhs; ++r) s[r] = xj[r];
+    for (index_t i = j + 1; i < n; ++i) {
+      const value_t lij = col[i];
+      const value_t* SYMPILER_RESTRICT xi = x + i * ldx;
+      for (index_t r = 0; r < nrhs; ++r) s[r] -= lij * xi[r];
+    }
+    const value_t piv = col[j];
+    if (piv == 0.0)
+      throw numerical_error("trsm_lower_transpose_multi: zero diagonal");
+    for (index_t r = 0; r < nrhs; ++r) xj[r] = s[r] / piv;
+  }
+}
+
+namespace {
+
+// Y(i, r0..r0+RV) -= sum_j A(i,j) X(j, r0..r0+RV): a register chunk of Y's
+// row rides across the whole j sweep; per (i, r) the terms apply in
+// ascending j, matching gemv_minus on that RHS column.
+template <int RV>
+void gemm_minus_multi_chunk(index_t m, index_t n, const value_t* a,
+                            index_t lda, const value_t* SYMPILER_RESTRICT x,
+                            index_t ldx, value_t* SYMPILER_RESTRICT y,
+                            index_t ldy) {
+  for (index_t i = 0; i < m; ++i) {
+    value_t* SYMPILER_RESTRICT yi = y + i * ldy;
+    const value_t* SYMPILER_RESTRICT ai = a + i;
+    value_t acc[RV];
+    for (int t = 0; t < RV; ++t) acc[t] = yi[t];
+    for (index_t j = 0; j < n; ++j) {
+      const value_t av = ai[j * lda];
+      const value_t* SYMPILER_RESTRICT xj = x + j * ldx;
+      for (int t = 0; t < RV; ++t) acc[t] -= av * xj[t];
+    }
+    for (int t = 0; t < RV; ++t) yi[t] = acc[t];
+  }
+}
+
+// Y(j, r0..r0+RV) -= sum_i A(i,j) X(i, r0..r0+RV): per (j, r) an
+// accumulator over ascending i then one subtraction, matching
+// gemv_trans_minus on that RHS column.
+template <int RV>
+void gemm_trans_minus_multi_chunk(index_t m, index_t n, const value_t* a,
+                                  index_t lda,
+                                  const value_t* SYMPILER_RESTRICT x,
+                                  index_t ldx, value_t* SYMPILER_RESTRICT y,
+                                  index_t ldy) {
+  for (index_t j = 0; j < n; ++j) {
+    const value_t* SYMPILER_RESTRICT col = a + j * lda;
+    value_t* SYMPILER_RESTRICT yj = y + j * ldy;
+    value_t acc[RV] = {};
+    for (index_t i = 0; i < m; ++i) {
+      const value_t av = col[i];
+      const value_t* SYMPILER_RESTRICT xi = x + i * ldx;
+      for (int t = 0; t < RV; ++t) acc[t] += av * xi[t];
+    }
+    for (int t = 0; t < RV; ++t) yj[t] -= acc[t];
+  }
+}
+
+}  // namespace
+
+void gemm_minus_multi(index_t m, index_t n, index_t nrhs, const value_t* a,
+                      index_t lda, const value_t* x, index_t ldx, value_t* y,
+                      index_t ldy) {
+  // Widest chunk first: at the full packed-block width the strided panel
+  // column is swept once per row instead of once per 8-RHS subchunk.
+  index_t r0 = 0;
+  for (; r0 + kRhsBlockMax <= nrhs; r0 += kRhsBlockMax)
+    gemm_minus_multi_chunk<kRhsBlockMax>(m, n, a, lda, x + r0, ldx, y + r0,
+                                         ldy);
+  for (; r0 + kRhsVec <= nrhs; r0 += kRhsVec)
+    gemm_minus_multi_chunk<kRhsVec>(m, n, a, lda, x + r0, ldx, y + r0, ldy);
+  for (; r0 < nrhs; ++r0)
+    gemm_minus_multi_chunk<1>(m, n, a, lda, x + r0, ldx, y + r0, ldy);
+}
+
+void gemm_trans_minus_multi(index_t m, index_t n, index_t nrhs,
+                            const value_t* a, index_t lda, const value_t* x,
+                            index_t ldx, value_t* y, index_t ldy) {
+  index_t r0 = 0;
+  for (; r0 + kRhsBlockMax <= nrhs; r0 += kRhsBlockMax)
+    gemm_trans_minus_multi_chunk<kRhsBlockMax>(m, n, a, lda, x + r0, ldx,
+                                               y + r0, ldy);
+  for (; r0 + kRhsVec <= nrhs; r0 += kRhsVec)
+    gemm_trans_minus_multi_chunk<kRhsVec>(m, n, a, lda, x + r0, ldx, y + r0,
+                                          ldy);
+  for (; r0 < nrhs; ++r0)
+    gemm_trans_minus_multi_chunk<1>(m, n, a, lda, x + r0, ldx, y + r0, ldy);
+}
+
+void pack_rhs(index_t n, index_t nrhs, const value_t* x, index_t col_stride,
+              value_t* xp, index_t ldp) {
+  for (index_t r = 0; r < nrhs; ++r) {
+    const value_t* SYMPILER_RESTRICT xc = x + r * col_stride;
+    value_t* SYMPILER_RESTRICT dst = xp + r;
+    for (index_t i = 0; i < n; ++i) dst[i * ldp] = xc[i];
+  }
+}
+
+void unpack_rhs(index_t n, index_t nrhs, const value_t* xp, index_t ldp,
+                value_t* x, index_t col_stride) {
+  for (index_t r = 0; r < nrhs; ++r) {
+    const value_t* SYMPILER_RESTRICT src = xp + r;
+    value_t* SYMPILER_RESTRICT xc = x + r * col_stride;
+    for (index_t i = 0; i < n; ++i) xc[i] = src[i * ldp];
   }
 }
 

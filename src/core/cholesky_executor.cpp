@@ -34,18 +34,20 @@ CholeskyExecutor::CholeskyExecutor(std::shared_ptr<const CholeskyPlan> plan)
   const SympilerOptions& opt = plan_->options;
   specialized_ =
       opt.low_level && sets_->avg_colcount < opt.blas_switch_colcount;
+  // Size all numeric scratch once, from the plan's dimensions: factorize()
+  // and solve() never allocate after this point. The executor's own
+  // workspace skips the packed-RHS block (solve_batch uses per-thread
+  // workspaces sized with it).
+  WorkspaceDims dims = plan_->workspace;
+  dims.rhs_block = 0;  // packed-RHS blocks live in solve_batch's per-thread
+                       // workspaces; the tail keeps its single-RHS row
   if (vs_block_applied()) {
     panels_.resize(static_cast<std::size_t>(sets_->layout.total_values()));
-    index_t max_m = 0, max_w = 0;
-    for (index_t s = 0; s < sets_->layout.nsuper(); ++s) {
-      max_m = std::max(max_m, sets_->layout.nrows(s));
-      max_w = std::max(max_w, sets_->layout.width(s));
-    }
-    work_.resize(static_cast<std::size_t>(max_m) * max_w);
-    map_.resize(static_cast<std::size_t>(sets_->layout.n));
+    dims.need_dense = false;  // dense column is simplicial-only scratch
   } else {
     l_ = sets_->sym.l_pattern;  // simplicial factor storage
   }
+  ws_.ensure(dims);
 }
 
 void CholeskyExecutor::factorize(const CscMatrix& a_lower) {
@@ -60,10 +62,10 @@ void CholeskyExecutor::factorize(const CscMatrix& a_lower) {
 
 void CholeskyExecutor::factorize_supernodal(const CscMatrix& a_lower) {
   const solvers::SupernodalLayout& layout = sets_->layout;
-  scatter_into_panels(layout, a_lower, panels_);
+  scatter_into_panels(layout, a_lower, panels_, ws_.map());
   const index_t nsuper = layout.nsuper();
-  value_t* work = work_.data();
-  index_t* map = map_.data();
+  value_t* work = ws_.update().data();
+  index_t* map = ws_.map().data();
 
   for (index_t s = 0; s < nsuper; ++s) {
     const index_t c1 = layout.sn.start[s];
@@ -74,7 +76,8 @@ void CholeskyExecutor::factorize_supernodal(const CscMatrix& a_lower) {
     for (index_t t = 0; t < m; ++t) map[rows[t]] = t;
 
     // Static update schedule — no dynamic discovery (fully decoupled).
-    for (index_t u = sets_->updates.ptr[s]; u < sets_->updates.ptr[s + 1]; ++u) {
+    for (index_t u = sets_->updates.ptr[s]; u < sets_->updates.ptr[s + 1];
+         ++u) {
       const solvers::UpdateRef ref = sets_->updates.refs[u];
       const index_t* drows = layout.srows.data() + layout.srow_ptr[ref.d];
       const index_t dm = layout.nrows(ref.d);
@@ -132,10 +135,13 @@ void CholeskyExecutor::factorize_supernodal(const CscMatrix& a_lower) {
 
 void CholeskyExecutor::factorize_simplicial(const CscMatrix& a_lower) {
   // VI-Prune-only path: Figure 4 with the update iteration space pruned by
-  // the precomputed row patterns. No transpose, no ereach.
+  // the precomputed row patterns. No transpose, no ereach. The dense
+  // accumulation column and the per-row cursors are plan-sized workspace.
   const index_t n = l_.cols();
-  std::vector<value_t> f(static_cast<std::size_t>(n), 0.0);
-  std::vector<index_t> next(static_cast<std::size_t>(n), 0);
+  value_t* f = ws_.dense().data();
+  index_t* next = ws_.map().data();
+  std::fill(f, f + n, 0.0);
+  std::fill(next, next + n, 0);
   const index_t* rowpat = sets_->rowpat.data();
 
   for (index_t j = 0; j < n; ++j) {
@@ -172,11 +178,31 @@ void CholeskyExecutor::factorize_simplicial(const CscMatrix& a_lower) {
 void CholeskyExecutor::solve(std::span<value_t> bx) const {
   SYMPILER_CHECK(factorized_, "solve() before factorize()");
   if (vs_block_applied()) {
-    panel_forward_solve(sets_->layout, panels_, bx);
-    panel_backward_solve(sets_->layout, panels_, bx);
+    panel_forward_solve(sets_->layout, panels_, bx, ws_.tail());
+    panel_backward_solve(sets_->layout, panels_, bx, ws_.tail());
   } else {
     solvers::trisolve_naive(l_, bx);
     solvers::trisolve_transpose(l_, bx);
+  }
+}
+
+void CholeskyExecutor::solve_batch(std::span<value_t> bx, index_t nrhs) const {
+  SYMPILER_CHECK(factorized_, "solve_batch() before factorize()");
+  SYMPILER_CHECK(nrhs >= 0, "solve_batch: negative RHS count");
+  const auto n = static_cast<std::size_t>(sets_->sym.parent.size());
+  SYMPILER_CHECK(bx.size() == n * static_cast<std::size_t>(nrhs),
+                 "solve_batch: batch size mismatch");
+  if (vs_block_applied()) {
+    blocked_panel_solve_batch(sets_->layout, panels_, plan_->workspace, bx,
+                              nrhs);
+  } else {
+    // Simplicial solves read only the immutable factor (no workspace), so
+    // the independent RHS columns parallelize directly.
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (index_t r = 0; r < nrhs; ++r)
+      solve(bx.subspan(static_cast<std::size_t>(r) * n, n));
   }
 }
 

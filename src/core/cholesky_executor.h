@@ -25,6 +25,7 @@
 
 #include "core/execution_plan.h"
 #include "core/options.h"
+#include "core/workspace.h"
 #include "sparse/csc.h"
 #include "util/common.h"
 
@@ -42,11 +43,22 @@ class CholeskyExecutor {
   /// factorize() — the plan cache key guarantees this.
   explicit CholeskyExecutor(std::shared_ptr<const CholeskyPlan> plan);
 
-  /// Numeric factorization of a matrix with the planned pattern.
+  /// Numeric factorization of a matrix with the planned pattern. A warm
+  /// call (same executor, pattern already planned) performs zero heap
+  /// allocations: all scratch lives in the plan-sized Workspace.
   void factorize(const CscMatrix& a_lower);
 
-  /// Solve A x = b in place (requires factorize()).
+  /// Solve A x = b in place (requires factorize()). Borrows the executor's
+  /// workspace: logically const, but not concurrently callable on one
+  /// executor — use solve_batch for many RHS.
   void solve(std::span<value_t> bx) const;
+
+  /// Blocked multi-RHS solve: `bx` holds nrhs column-major dense RHS of
+  /// length n, overwritten by the solutions. On the supernodal path the
+  /// batch is tiled into packed RHS blocks driven through the multi-RHS
+  /// panel kernels (bit-identical per column to looped solve() calls, and
+  /// parallel over blocks under OpenMP); the simplicial path loops.
+  void solve_batch(std::span<value_t> bx, index_t nrhs) const;
 
   /// Extract L as CSC (for inspection and the triangular-solve pipeline).
   [[nodiscard]] CscMatrix factor_csc() const;
@@ -73,8 +85,9 @@ class CholeskyExecutor {
   bool specialized_ = false;
   std::vector<value_t> panels_;  ///< supernodal factor storage
   CscMatrix l_;                  ///< simplicial factor storage
-  std::vector<value_t> work_;    ///< update scratch (supernodal)
-  std::vector<index_t> map_;     ///< row -> local row scratch
+  /// Plan-sized numeric scratch (update tiles, scatter map, solve tails);
+  /// mutable because solve() is logically const but borrows it.
+  mutable Workspace ws_;
   bool factorized_ = false;
 };
 

@@ -22,6 +22,7 @@
 #include "core/inspector.h"
 #include "core/options.h"
 #include "core/pattern_key.h"
+#include "core/workspace.h"
 #include "parallel/levelset.h"
 
 namespace sympiler::core {
@@ -62,6 +63,9 @@ struct CholeskyPlan {
                                      ///< path == ParallelSupernodal
   ExecutionPath path = ExecutionPath::Simplicial;
   PlanEvidence evidence;
+  /// Numeric scratch sizes this plan implies (executors size their
+  /// Workspace from these once, before the first numeric call).
+  WorkspaceDims workspace;
 
   /// Total heap footprint of the artifact — the plan cache's eviction
   /// weight (entries are weighed by bytes, not counted).
@@ -83,6 +87,8 @@ struct TriSolvePlan {
                                      ///< path == ParallelTriSolve
   ExecutionPath path = ExecutionPath::PrunedTriSolve;
   PlanEvidence evidence;
+  /// Numeric scratch sizes this plan implies.
+  WorkspaceDims workspace;
 
   [[nodiscard]] std::size_t bytes() const {
     return sizeof(TriSolvePlan) + sets.bytes() + schedule.bytes();

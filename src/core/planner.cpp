@@ -1,5 +1,6 @@
 #include "core/planner.h"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
@@ -23,7 +24,7 @@ namespace {
 
 std::string summarize(const char* kind, const PatternKey& key,
                       ExecutionPath path, const PlanEvidence& ev,
-                      std::size_t bytes) {
+                      std::size_t bytes, std::size_t workspace_bytes) {
   std::ostringstream os;
   os << kind << " plan for " << key.rows << "x" << key.cols
      << " nnz=" << key.nnz;
@@ -40,6 +41,7 @@ std::string summarize(const char* kind, const PatternKey& key,
     os << "\n  levels: not scheduled (parallel gates closed)";
   }
   os << "\n  plan bytes: " << bytes
+     << ", executor workspace bytes: " << workspace_bytes
      << ", planning time: " << ev.build_seconds * 1e3 << " ms";
   return os.str();
 }
@@ -47,11 +49,13 @@ std::string summarize(const char* kind, const PatternKey& key,
 }  // namespace
 
 std::string CholeskyPlan::summary() const {
-  return summarize("cholesky", key, path, evidence, bytes());
+  return summarize("cholesky", key, path, evidence, bytes(),
+                   workspace.bytes());
 }
 
 std::string TriSolvePlan::summary() const {
-  return summarize("trisolve", key, path, evidence, bytes());
+  return summarize("trisolve", key, path, evidence, bytes(),
+                   workspace.bytes());
 }
 
 std::uint64_t Planner::gate_hash() const {
@@ -104,7 +108,9 @@ CholeskyPlan Planner::plan_cholesky(const CscMatrix& a_lower,
 
   if (!plan.sets.vs_block_profitable) {
     plan.path = ExecutionPath::Simplicial;
+    plan.workspace.n = a_lower.cols();
   } else {
+    plan.workspace = cholesky_workspace_dims(plan.sets.layout);
     plan.path = ExecutionPath::Supernodal;
     if (parallel_enabled() && config_.enable_parallel &&
         plan.sets.layout.nsuper() >= config_.parallel_min_supernodes) {
@@ -143,6 +149,13 @@ TriSolvePlan Planner::plan_trisolve(const CscMatrix& l,
 
   plan.path = plan.sets.vs_block_profitable ? ExecutionPath::BlockedTriSolve
                                             : ExecutionPath::PrunedTriSolve;
+  plan.workspace.n = l.cols();
+  for (index_t s = 0; s < plan.sets.blocks.count(); ++s) {
+    const index_t c1 = plan.sets.blocks.start[s];
+    const index_t w = plan.sets.blocks.width(s);
+    plan.workspace.max_tail =
+        std::max(plan.workspace.max_tail, plan.sets.colcount[c1] - w);
+  }
   const bool dense_rhs = static_cast<index_t>(beta.size()) == l.cols();
   if (parallel_enabled() && config_.enable_parallel && dense_rhs &&
       plan.path == ExecutionPath::PrunedTriSolve) {

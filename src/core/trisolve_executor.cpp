@@ -33,15 +33,16 @@ TriSolveExecutor::TriSolveExecutor(std::shared_ptr<const TriSolvePlan> plan,
     : l_(&l), plan_(std::move(plan)) {
   SYMPILER_CHECK(plan_ != nullptr, "trisolve executor: null plan");
   sets_ = &plan_->sets;
-  // Preallocate the tail buffer to the largest block tail (over all
-  // supernodes: the VS-Block-only configuration traverses every block).
-  index_t max_tail = 0;
-  for (index_t s = 0; s < sets_->blocks.count(); ++s) {
-    const index_t c1 = sets_->blocks.start[s];
-    const index_t w = sets_->blocks.width(s);
-    max_tail = std::max(max_tail, sets_->colcount[c1] - w);
-  }
-  tail_.assign(static_cast<std::size_t>(max_tail), 0.0);
+  // Size the single-RHS tail scratch from the plan's dimensions (largest
+  // block tail over all supernodes: the VS-Block-only configuration
+  // traverses every block). The packed multi-RHS buffers grow on the first
+  // solve_batch and are reused after. The CSC traversal needs no scatter
+  // map or dense column.
+  WorkspaceDims dims = plan_->workspace;
+  dims.rhs_block = 0;
+  dims.need_map = false;
+  dims.need_dense = false;
+  ws_.ensure(dims);
 }
 
 void TriSolveExecutor::solve(std::span<value_t> x) const {
@@ -109,7 +110,7 @@ void TriSolveExecutor::solve_blocked(std::span<value_t> x) const {
   const index_t nblocks = plan_->options.vi_prune
                               ? static_cast<index_t>(sets_->sn_reach.size())
                               : sets_->blocks.count();
-  value_t* tail = tail_.data();
+  value_t* tail = ws_.tail().data();
   for (index_t k = 0; k < nblocks; ++k) {
     const index_t s = plan_->options.vi_prune ? sets_->sn_reach[k] : k;
     const index_t c1 = sets_->blocks.start[s];
@@ -164,6 +165,125 @@ void TriSolveExecutor::solve_blocked(std::span<value_t> x) const {
     // One indirect scatter per block (row list of the first column).
     const index_t* rows = Li + l.col_begin(c1) + (c2 - c1);
     for (index_t t = 0; t < tail_len; ++t) x[rows[t]] -= tail[t];
+  }
+}
+
+void TriSolveExecutor::solve_batch(std::span<value_t> xs, index_t nrhs) const {
+  SYMPILER_CHECK(nrhs >= 0, "trisolve solve_batch: negative RHS count");
+  const auto n = static_cast<std::size_t>(l_->cols());
+  SYMPILER_CHECK(xs.size() == n * static_cast<std::size_t>(nrhs),
+                 "trisolve solve_batch: batch size mismatch");
+  if (plan_->path != ExecutionPath::BlockedTriSolve) {
+    for (index_t r = 0; r < nrhs; ++r)
+      solve(xs.subspan(static_cast<std::size_t>(r) * n, n));
+    return;
+  }
+  // Blocked path: pack RHS blocks and run the supernodal traversal once
+  // per block. The packed buffers grow on first use, then are steady.
+  const index_t bw =
+      std::min<index_t>(plan_->workspace.rhs_block > 0
+                            ? plan_->workspace.rhs_block
+                            : kRhsBlockWidth,
+                        blas::kRhsBlockMax);
+  WorkspaceDims dims = plan_->workspace;
+  dims.rhs_block = std::min(bw, nrhs);  // grow to the batch actually used
+  dims.need_map = false;
+  dims.need_dense = false;
+  ws_.ensure(dims);
+  for (index_t r0 = 0; r0 < nrhs; r0 += bw) {
+    const index_t nb = std::min(bw, nrhs - r0);
+    value_t* xp = ws_.rhs_block();
+    value_t* x0 = xs.data() + static_cast<std::size_t>(r0) * n;
+    blas::pack_rhs(static_cast<index_t>(n), nb, x0, static_cast<index_t>(n),
+                   xp, nb);
+    solve_blocked_multi(xp, nb, nb, ws_.tail().data());
+    blas::unpack_rhs(static_cast<index_t>(n), nb, xp, nb, x0,
+                     static_cast<index_t>(n));
+  }
+}
+
+void TriSolveExecutor::solve_blocked_multi(value_t* xp, index_t nrhs,
+                                           index_t ldp, value_t* tail) const {
+  // The multi-RHS mirror of solve_blocked: identical traversal, identical
+  // per-column operation sequence (including the two-column pairing of the
+  // tail accumulation), with the RHS index as the unit-stride inner loop.
+  // Looped solve() and solve_batch() are therefore bit-identical per
+  // column — pinned by tests/test_batch.cpp.
+  const CscMatrix& l = *l_;
+  const index_t* Li = l.rowind.data();
+  const value_t* Lx = l.values.data();
+  const index_t nblocks = plan_->options.vi_prune
+                              ? static_cast<index_t>(sets_->sn_reach.size())
+                              : sets_->blocks.count();
+  for (index_t k = 0; k < nblocks; ++k) {
+    const index_t s = plan_->options.vi_prune ? sets_->sn_reach[k] : k;
+    const index_t c1 = sets_->blocks.start[s];
+    const index_t c2 = sets_->blocks.start[s + 1];
+    const index_t cr = plan_->options.vi_prune ? sets_->sn_first_col[k] : c1;
+    const index_t tail_len = sets_->colcount[c1] - (c2 - c1);
+
+    if (plan_->options.low_level && c2 - cr == 1 && cr == c1) {
+      // Peeled single-column supernode.
+      const index_t p0 = l.col_begin(cr);
+      const value_t piv = Lx[p0];
+      value_t* xc = xp + cr * ldp;
+      for (index_t r = 0; r < nrhs; ++r) xc[r] /= piv;
+      for (index_t p = p0 + 1; p < l.col_end(cr); ++p) {
+        const value_t lv = Lx[p];
+        value_t* xi = xp + Li[p] * ldp;
+        for (index_t r = 0; r < nrhs; ++r) xi[r] -= lv * xc[r];
+      }
+      continue;
+    }
+
+    // Diagonal block: dense forward substitution, consecutive targets.
+    for (index_t j = cr; j < c2; ++j) {
+      const index_t p0 = l.col_begin(j);
+      const value_t piv = Lx[p0];
+      value_t* xj = xp + j * ldp;
+      for (index_t r = 0; r < nrhs; ++r) xj[r] /= piv;
+      const value_t* col = Lx + p0 + 1;
+      const index_t blen = c2 - j - 1;
+      for (index_t t = 0; t < blen; ++t) {
+        const value_t lv = col[t];
+        value_t* xrow = xp + (j + 1 + t) * ldp;
+        for (index_t r = 0; r < nrhs; ++r) xrow[r] -= lv * xj[r];
+      }
+    }
+    if (tail_len == 0) continue;
+
+    // Tail accumulation, mirroring solve_blocked's column pairing.
+    std::fill(tail, tail + static_cast<std::int64_t>(tail_len) * ldp, 0.0);
+    index_t j = cr;
+    if (plan_->options.low_level) {
+      for (; j + 1 < c2; j += 2) {
+        const value_t* xa = xp + j * ldp;
+        const value_t* xb = xp + (j + 1) * ldp;
+        const value_t* ca = Lx + l.col_begin(j) + (c2 - j);
+        const value_t* cb = Lx + l.col_begin(j + 1) + (c2 - j - 1);
+        for (index_t t = 0; t < tail_len; ++t) {
+          const value_t la = ca[t], lb = cb[t];
+          value_t* tr = tail + static_cast<std::int64_t>(t) * ldp;
+          for (index_t r = 0; r < nrhs; ++r) tr[r] += la * xa[r] + lb * xb[r];
+        }
+      }
+    }
+    for (; j < c2; ++j) {
+      const value_t* xj = xp + j * ldp;
+      const value_t* cj = Lx + l.col_begin(j) + (c2 - j);
+      for (index_t t = 0; t < tail_len; ++t) {
+        const value_t lv = cj[t];
+        value_t* tr = tail + static_cast<std::int64_t>(t) * ldp;
+        for (index_t r = 0; r < nrhs; ++r) tr[r] += lv * xj[r];
+      }
+    }
+    // One indirect scatter per block.
+    const index_t* rows = Li + l.col_begin(c1) + (c2 - c1);
+    for (index_t t = 0; t < tail_len; ++t) {
+      const value_t* tr = tail + static_cast<std::int64_t>(t) * ldp;
+      value_t* xi = xp + rows[t] * ldp;
+      for (index_t r = 0; r < nrhs; ++r) xi[r] -= tr[r];
+    }
   }
 }
 

@@ -19,6 +19,7 @@
 
 #include "core/execution_plan.h"
 #include "core/options.h"
+#include "core/workspace.h"
 #include "sparse/csc.h"
 #include "util/common.h"
 
@@ -45,6 +46,13 @@ class TriSolveExecutor {
   /// solution on exit. No symbolic work happens here.
   void solve(std::span<value_t> x) const;
 
+  /// Blocked multi-RHS solve: `xs` holds nrhs column-major dense RHS of
+  /// length n, every column carrying the planned pattern. On the
+  /// BlockedTriSolve path the batch is tiled into packed RHS blocks and
+  /// swept through the supernodal traversal once per block (bit-identical
+  /// per column to looped solve() calls); other paths loop.
+  void solve_batch(std::span<value_t> xs, index_t nrhs) const;
+
   [[nodiscard]] const TriSolvePlan& plan() const { return *plan_; }
   [[nodiscard]] const std::shared_ptr<const TriSolvePlan>& plan_ptr() const {
     return plan_;
@@ -58,11 +66,16 @@ class TriSolveExecutor {
  private:
   void solve_pruned(std::span<value_t> x) const;
   void solve_blocked(std::span<value_t> x) const;
+  void solve_blocked_multi(value_t* xp, index_t nrhs, index_t ldp,
+                           value_t* tail) const;
 
   const CscMatrix* l_;
   std::shared_ptr<const TriSolvePlan> plan_;  ///< shared with the cache
   const TriSolveSets* sets_ = nullptr;        ///< &plan_->sets
-  mutable std::vector<value_t> tail_;  ///< gather buffer for block tails
+  /// Plan-sized scratch: single-RHS tail buffer up front, packed RHS block
+  /// + tail block grown on the first solve_batch (then reused, zero
+  /// steady-state allocation). Mutable: solve() is logically const.
+  mutable Workspace ws_;
 };
 
 }  // namespace sympiler::core

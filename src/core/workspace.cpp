@@ -1,0 +1,74 @@
+#include "core/workspace.h"
+
+#include <algorithm>
+
+#ifdef SYMPILER_HAS_OPENMP
+#include <omp.h>
+#endif
+
+namespace sympiler::core {
+
+WorkspaceDims cholesky_workspace_dims(const solvers::SupernodalLayout& layout) {
+  WorkspaceDims dims;
+  dims.n = layout.n;
+  for (index_t s = 0; s < layout.nsuper(); ++s) {
+    dims.max_panel_rows = std::max(dims.max_panel_rows, layout.nrows(s));
+    dims.max_panel_width = std::max(dims.max_panel_width, layout.width(s));
+  }
+  dims.max_tail = solvers::max_tail_rows(layout);
+  return dims;
+}
+
+void blocked_panel_solve_batch(const solvers::SupernodalLayout& layout,
+                               std::span<const value_t> panels,
+                               const WorkspaceDims& dims,
+                               std::span<value_t> bx, index_t nrhs) {
+  if (nrhs <= 0) return;
+  const index_t n = layout.n;
+  index_t bw = std::min<index_t>(
+      dims.rhs_block > 0 ? dims.rhs_block : kRhsBlockWidth, blas::kRhsBlockMax);
+#ifdef SYMPILER_HAS_OPENMP
+  // Narrow the blocks when a full-width tiling would leave worker threads
+  // idle (e.g. 64 RHS on 8 threads: 8 blocks of 8 beat 2 blocks of 32);
+  // below 8 columns the packed kernels stop paying for the pack traffic.
+  const index_t threads = static_cast<index_t>(omp_get_max_threads());
+  if (threads > 1) {
+    const index_t per_thread = (nrhs + threads - 1) / threads;
+    bw = std::max<index_t>(std::min(bw, per_thread), std::min<index_t>(8, bw));
+  }
+#endif
+  // Workspaces grow to the batch actually requested, not the maximum block
+  // width a plan allows — a 2-RHS batch must not pin an n x 32 buffer. The
+  // per-thread workspaces touch only the packed RHS and tail buffers.
+  WorkspaceDims sized = dims;
+  sized.rhs_block = std::min(bw, nrhs);
+  sized.max_panel_rows = 0;
+  sized.max_panel_width = 0;
+  sized.need_map = false;
+  sized.need_dense = false;
+  const index_t nblocks = (nrhs + bw - 1) / bw;
+  // Blocks are independent and uniform; each packs its RHS columns into a
+  // thread's grow-only workspace, so a warm steady state allocates
+  // nothing. The static schedule keeps the block -> thread mapping
+  // reproducible, so a warm-up batch warms exactly the workspaces a later
+  // identical batch touches.
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (index_t blk = 0; blk < nblocks; ++blk) {
+    static thread_local Workspace ws;
+    ws.ensure(sized);
+    const index_t r0 = blk * bw;
+    const index_t nb = std::min(bw, nrhs - r0);
+    value_t* xp = ws.rhs_block();
+    value_t* bx0 = bx.data() + static_cast<std::size_t>(r0) * n;
+    blas::pack_rhs(n, nb, bx0, n, xp, nb);
+    solvers::panel_forward_solve_multi(layout, panels, xp, nb, nb,
+                                       ws.tail().data());
+    solvers::panel_backward_solve_multi(layout, panels, xp, nb, nb,
+                                        ws.tail().data());
+    blas::unpack_rhs(n, nb, xp, nb, bx0, n);
+  }
+}
+
+}  // namespace sympiler::core

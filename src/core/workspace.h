@@ -1,0 +1,114 @@
+// Plan-sized numeric workspaces: every scratch buffer the numeric hot path
+// touches — the relative-index scatter map, the gather/update panels, the
+// packed RHS blocks and their tail accumulators — sized once from plan-time
+// dimensions and reused across every factor()/solve()/solve_batch().
+//
+// Ownership rules:
+//  * executors own a Workspace for their single-threaded numeric phases
+//    (mutable: solve() is logically const but borrows scratch);
+//  * the level-set parallel interpreters and the multi-RHS batch driver use
+//    one `thread_local` Workspace per OS thread, grow-only, shared across
+//    plans — a warm thread re-runs any resident plan without allocating;
+//  * nothing in a steady-state numeric call allocates — pinned by the
+//    operator-new counter test (tests/test_alloc.cpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "blas/kernels.h"
+#include "solvers/supernodal.h"
+#include "util/common.h"
+
+namespace sympiler::core {
+
+/// Width of one packed multi-RHS block: solve_batch tiles its RHS columns
+/// into blocks of at most this many, solved together through the panel
+/// kernels. Bounded by the multi-RHS kernels' accumulator capacity.
+inline constexpr index_t kRhsBlockWidth = blas::kRhsBlockMax;
+
+/// The numeric scratch dimensions a plan implies. Computed by the Planner
+/// at plan time (pure pattern function, cached with the plan) so executors
+/// size their workspaces once, before the first numeric call.
+struct WorkspaceDims {
+  index_t n = 0;                ///< problem order (map / dense scratch rows)
+  index_t max_panel_rows = 0;   ///< max supernode panel rows (update tiles)
+  index_t max_panel_width = 0;  ///< max supernode width (update tiles)
+  index_t max_tail = 0;         ///< max below-diagonal rows of any block
+  index_t rhs_block = kRhsBlockWidth;  ///< packed RHS block width
+  /// Which n-sized buffers this owner actually touches — the batch
+  /// driver's per-thread workspaces and the trisolve executor need
+  /// neither, and must not pin 12 bytes/row of never-read scratch.
+  bool need_map = true;    ///< row -> local-row scatter map
+  bool need_dense = true;  ///< dense accumulation column (simplicial)
+
+  /// Heap bytes a Workspace sized to these dims holds.
+  [[nodiscard]] std::size_t bytes() const {
+    const auto rows = static_cast<std::size_t>(max_panel_rows);
+    const auto bw = static_cast<std::size_t>(rhs_block > 0 ? rhs_block : 1);
+    return static_cast<std::size_t>(n) *
+               ((need_map ? sizeof(index_t) : 0) +
+                (need_dense ? sizeof(value_t) : 0)) +
+           rows * static_cast<std::size_t>(max_panel_width) * sizeof(value_t) +
+           static_cast<std::size_t>(n) * static_cast<std::size_t>(rhs_block) *
+               sizeof(value_t) +
+           static_cast<std::size_t>(max_tail) * bw * sizeof(value_t);
+  }
+};
+
+/// Dims for a supernodal Cholesky plan (factor + panel solves).
+[[nodiscard]] WorkspaceDims cholesky_workspace_dims(
+    const solvers::SupernodalLayout& layout);
+
+/// Reusable numeric scratch. ensure() is grow-only: after the first call at
+/// a plan's dims, later calls at the same (or smaller) dims never allocate.
+class Workspace {
+ public:
+  void ensure(const WorkspaceDims& dims) {
+    const auto n = static_cast<std::size_t>(dims.n);
+    const auto upd = static_cast<std::size_t>(dims.max_panel_rows) *
+                     static_cast<std::size_t>(dims.max_panel_width);
+    const auto rhs = n * static_cast<std::size_t>(dims.rhs_block);
+    const auto tail =
+        static_cast<std::size_t>(dims.max_tail) *
+        static_cast<std::size_t>(dims.rhs_block > 0 ? dims.rhs_block : 1);
+    if (dims.need_map && map_.size() < n) map_.resize(n);
+    if (dims.need_dense && dense_.size() < n) dense_.resize(n);
+    if (update_.size() < upd) update_.resize(upd);
+    if (rhs_.size() < rhs) rhs_.resize(rhs);
+    if (tail_.size() < tail) tail_.resize(tail);
+  }
+
+  /// Row -> local-row scatter map (n entries).
+  [[nodiscard]] std::span<index_t> map() { return map_; }
+  /// Dense length-n value scratch (simplicial accumulation column).
+  [[nodiscard]] std::span<value_t> dense() { return dense_; }
+  /// Supernodal update tile (max_panel_rows x max_panel_width).
+  [[nodiscard]] std::span<value_t> update() { return update_; }
+  /// Packed RHS block (n rows x rhs_block, RHS-major).
+  [[nodiscard]] value_t* rhs_block() { return rhs_.data(); }
+  /// Tail gather/accumulate block (max_tail rows x rhs_block, RHS-major).
+  /// Also serves as the single-RHS panel-solve tail scratch.
+  [[nodiscard]] std::span<value_t> tail() { return tail_; }
+
+ private:
+  std::vector<index_t> map_;
+  std::vector<value_t> dense_;
+  std::vector<value_t> update_;
+  std::vector<value_t> rhs_;
+  std::vector<value_t> tail_;
+};
+
+/// Blocked multi-RHS solve over factored supernodal panels: `bx` holds nrhs
+/// column-major dense RHS of length dims.n, overwritten by the solutions.
+/// RHS columns are tiled into packed blocks of dims.rhs_block and pushed
+/// through the multi-RHS panel kernels; per column the arithmetic is
+/// bit-identical to panel_forward_solve + panel_backward_solve. Blocks run
+/// in parallel under OpenMP with per-thread workspaces.
+void blocked_panel_solve_batch(const solvers::SupernodalLayout& layout,
+                               std::span<const value_t> panels,
+                               const WorkspaceDims& dims,
+                               std::span<value_t> bx, index_t nrhs);
+
+}  // namespace sympiler::core

@@ -5,6 +5,7 @@
 
 #include "blas/kernels.h"
 #include "core/execution_plan.h"
+#include "core/workspace.h"
 #include "solvers/supernodal.h"
 
 namespace sympiler::parallel {
@@ -97,19 +98,26 @@ void parallel_cholesky(const core::CholeskySets& sets,
                        const LevelSchedule& schedule,
                        const CscMatrix& a_lower, std::span<value_t> panels) {
   const solvers::SupernodalLayout& layout = sets.layout;
-  scatter_into_panels(layout, a_lower, panels);
-  index_t max_m = 0, max_w = 0;
-  for (index_t s = 0; s < layout.nsuper(); ++s) {
-    max_m = std::max(max_m, layout.nrows(s));
-    max_w = std::max(max_w, layout.width(s));
-  }
+  // Plan-sized scratch dimensions (pure layout reads); each OS thread
+  // keeps one grow-only workspace across calls and plans, so a warm
+  // factorization allocates nothing on any thread. The same thread_local
+  // serves the serial scatter (master thread's instance) and every
+  // worker inside the parallel region (their own instances).
+  core::WorkspaceDims dims = core::cholesky_workspace_dims(layout);
+  dims.rhs_block = 0;
+  dims.need_dense = false;  // factorization uses map + update tiles only
+  static thread_local core::Workspace ws;
+  ws.ensure(dims);
+  scatter_into_panels(layout, a_lower, panels, ws.map());
 #ifdef SYMPILER_HAS_OPENMP
 #pragma omp parallel
 #endif
   {
-    // Per-thread scratch (gemm buffer + scatter map), allocated once.
-    std::vector<value_t> work(static_cast<std::size_t>(max_m) * max_w);
-    std::vector<index_t> map(static_cast<std::size_t>(layout.n));
+    ws.ensure(dims);
+    const std::span<value_t> work_span = ws.update();
+    const std::span<index_t> map_span = ws.map();
+    value_t* const work_data = work_span.data();
+    index_t* const map_data = map_span.data();
     for (index_t lev = 0; lev < schedule.levels(); ++lev) {
       const index_t lo = schedule.level_ptr[lev];
       const index_t hi = schedule.level_ptr[lev + 1];
@@ -123,7 +131,7 @@ void parallel_cholesky(const core::CholeskySets& sets,
         const index_t m = layout.nrows(s);
         const index_t* rows = layout.srows.data() + layout.srow_ptr[s];
         value_t* panel = panels.data() + layout.panel_ptr[s];
-        for (index_t r = 0; r < m; ++r) map[rows[r]] = r;
+        for (index_t r = 0; r < m; ++r) map_data[rows[r]] = r;
         for (index_t u = sets.updates.ptr[s]; u < sets.updates.ptr[s + 1];
              ++u) {
           const solvers::UpdateRef ref = sets.updates.refs[u];
@@ -133,16 +141,16 @@ void parallel_cholesky(const core::CholeskySets& sets,
           const value_t* dpanel = panels.data() + layout.panel_ptr[ref.d];
           const index_t mu = dm - ref.p1;
           const index_t nu = ref.p2 - ref.p1;
-          std::fill(work.begin(),
-                    work.begin() + static_cast<std::int64_t>(mu) * nu, 0.0);
+          std::fill(work_data, work_data + static_cast<std::int64_t>(mu) * nu,
+                    0.0);
           blas::gemm_nt_minus(mu, nu, dw, dpanel + ref.p1, dm,
-                              dpanel + ref.p1, dm, work.data(), mu);
+                              dpanel + ref.p1, dm, work_data, mu);
           for (index_t cj = 0; cj < nu; ++cj) {
             value_t* dst =
                 panel + static_cast<std::int64_t>(drows[ref.p1 + cj] - c1) * m;
-            const value_t* src = work.data() + static_cast<std::int64_t>(cj) * mu;
+            const value_t* src = work_data + static_cast<std::int64_t>(cj) * mu;
             for (index_t r = cj; r < mu; ++r)
-              dst[map[drows[ref.p1 + r]]] += src[r];
+              dst[map_data[drows[ref.p1 + r]]] += src[r];
           }
         }
         blas::potrf_lower(w, panel, m);

@@ -24,7 +24,8 @@ SupernodalLayout SupernodalLayout::build(const SymbolicFactor& sym,
   // supernodal invariant guarantees later columns' patterns are suffixes).
   for (index_t s = 0; s < nsuper; ++s) {
     const index_t c1 = layout.sn.start[s];
-    const index_t nrow = sym.l_pattern.col_end(c1) - sym.l_pattern.col_begin(c1);
+    const index_t nrow =
+        sym.l_pattern.col_end(c1) - sym.l_pattern.col_begin(c1);
     const index_t w = layout.sn.width(s);
     SYMPILER_CHECK(nrow >= w, "layout: supernode shorter than its width");
     layout.srow_ptr[s + 1] = layout.srow_ptr[s] + nrow;
@@ -43,10 +44,26 @@ SupernodalLayout SupernodalLayout::build(const SymbolicFactor& sym,
 
 UpdateLists compute_update_lists(const SupernodalLayout& layout) {
   const index_t nsuper = layout.nsuper();
-  // Simulate the cursor walk of each descendant over its row list and
-  // bucket the resulting (d, p1, p2) segments by target supernode.
-  std::vector<std::vector<UpdateRef>> buckets(
-      static_cast<std::size_t>(nsuper));
+  // Simulate the cursor walk of each descendant over its row list twice:
+  // pass 1 counts the (d, p1, p2) segments per target supernode, pass 2
+  // writes them into the flat ptr/refs arrays — no per-supernode bucket
+  // vectors, two allocations total.
+  UpdateLists lists;
+  lists.ptr.assign(static_cast<std::size_t>(nsuper) + 1, 0);
+  for (index_t d = 0; d < nsuper; ++d) {
+    const index_t* rows = layout.srows.data() + layout.srow_ptr[d];
+    const index_t nrow = layout.nrows(d);
+    index_t p = layout.width(d);
+    while (p < nrow) {
+      const index_t target = layout.sn.col_to_super[rows[p]];
+      const index_t c2 = layout.sn.start[target + 1];
+      while (p < nrow && rows[p] < c2) ++p;
+      ++lists.ptr[target + 1];
+    }
+  }
+  for (index_t s = 0; s < nsuper; ++s) lists.ptr[s + 1] += lists.ptr[s];
+  lists.refs.resize(static_cast<std::size_t>(lists.ptr[nsuper]));
+  std::vector<index_t> next(lists.ptr.begin(), lists.ptr.end() - 1);
   for (index_t d = 0; d < nsuper; ++d) {
     const index_t* rows = layout.srows.data() + layout.srow_ptr[d];
     const index_t nrow = layout.nrows(d);
@@ -56,26 +73,19 @@ UpdateLists compute_update_lists(const SupernodalLayout& layout) {
       const index_t c2 = layout.sn.start[target + 1];
       index_t q = p;
       while (q < nrow && rows[q] < c2) ++q;
-      buckets[target].push_back({d, p, q});
+      lists.refs[next[target]++] = {d, p, q};
       p = q;
     }
   }
-  UpdateLists lists;
-  lists.ptr.assign(static_cast<std::size_t>(nsuper) + 1, 0);
-  for (index_t s = 0; s < nsuper; ++s)
-    lists.ptr[s + 1] =
-        lists.ptr[s] + static_cast<index_t>(buckets[s].size());
-  lists.refs.reserve(static_cast<std::size_t>(lists.ptr[nsuper]));
-  for (index_t s = 0; s < nsuper; ++s)
-    lists.refs.insert(lists.refs.end(), buckets[s].begin(), buckets[s].end());
   return lists;
 }
 
 void scatter_into_panels(const SupernodalLayout& layout,
-                         const CscMatrix& a_lower,
-                         std::span<value_t> panels) {
+                         const CscMatrix& a_lower, std::span<value_t> panels,
+                         std::span<index_t> map) {
+  SYMPILER_CHECK(static_cast<index_t>(map.size()) >= layout.n,
+                 "scatter: map scratch too small");
   std::fill(panels.begin(), panels.end(), 0.0);
-  std::vector<index_t> map(static_cast<std::size_t>(layout.n), 0);
   for (index_t s = 0; s < layout.nsuper(); ++s) {
     const index_t c1 = layout.sn.start[s];
     const index_t c2 = layout.sn.start[s + 1];
@@ -94,11 +104,32 @@ void scatter_into_panels(const SupernodalLayout& layout,
   }
 }
 
+void scatter_into_panels(const SupernodalLayout& layout,
+                         const CscMatrix& a_lower,
+                         std::span<value_t> panels) {
+  std::vector<index_t> map(static_cast<std::size_t>(layout.n), 0);
+  scatter_into_panels(layout, a_lower, panels, map);
+}
+
 CscMatrix panels_to_csc(const SupernodalLayout& layout,
                         std::span<const value_t> panels) {
   const index_t n = layout.n;
   CscMatrix l(n, n);
+  // Exact per-column nnz from the layout (column j of supernode s holds
+  // nrows(s) - local entries), so the output arrays are written once into
+  // their final size instead of growing by push_back.
   l.colptr[0] = 0;
+  for (index_t s = 0; s < layout.nsuper(); ++s) {
+    const index_t c1 = layout.sn.start[s];
+    const index_t c2 = layout.sn.start[s + 1];
+    const index_t m = layout.nrows(s);
+    for (index_t j = c1; j < c2; ++j)
+      l.colptr[j + 1] = l.colptr[j] + (m - (j - c1));
+  }
+  l.rowind.resize(static_cast<std::size_t>(l.colptr[n]));
+  l.values.resize(static_cast<std::size_t>(l.colptr[n]));
+  index_t* li = l.rowind.data();
+  value_t* lx = l.values.data();
   for (index_t s = 0; s < layout.nsuper(); ++s) {
     const index_t c1 = layout.sn.start[s];
     const index_t c2 = layout.sn.start[s + 1];
@@ -108,20 +139,28 @@ CscMatrix panels_to_csc(const SupernodalLayout& layout,
     for (index_t j = c1; j < c2; ++j) {
       const index_t local = j - c1;
       const value_t* col = panel + static_cast<std::int64_t>(local) * m;
+      index_t* ldst = li + l.colptr[j];
+      value_t* xdst = lx + l.colptr[j];
       for (index_t t = local; t < m; ++t) {
-        l.rowind.push_back(rows[t]);
-        l.values.push_back(col[t]);
+        *ldst++ = rows[t];
+        *xdst++ = col[t];
       }
-      l.colptr[j + 1] = static_cast<index_t>(l.rowind.size());
     }
   }
   return l;
 }
 
+index_t max_tail_rows(const SupernodalLayout& layout) {
+  index_t max_tail = 0;
+  for (index_t s = 0; s < layout.nsuper(); ++s)
+    max_tail = std::max(max_tail, layout.nrows(s) - layout.width(s));
+  return max_tail;
+}
+
 void panel_forward_solve(const SupernodalLayout& layout,
-                         std::span<const value_t> panels,
-                         std::span<value_t> x) {
-  std::vector<value_t> xs;  // gathered segment for the supernode columns
+                         std::span<const value_t> panels, std::span<value_t> x,
+                         std::span<value_t> scratch) {
+  value_t* xs = scratch.data();  // gathered tail segment, plan-sized
   for (index_t s = 0; s < layout.nsuper(); ++s) {
     const index_t c1 = layout.sn.start[s];
     const index_t w = layout.width(s);
@@ -130,18 +169,25 @@ void panel_forward_solve(const SupernodalLayout& layout,
     const value_t* panel = panels.data() + layout.panel_ptr[s];
     blas::trsv_lower(w, panel, m, x.data() + c1);
     if (m > w) {
-      xs.resize(static_cast<std::size_t>(m - w));
-      std::fill(xs.begin(), xs.end(), 0.0);
-      blas::gemv_minus(m - w, w, panel + w, m, x.data() + c1, xs.data());
+      std::fill(xs, xs + (m - w), 0.0);
+      blas::gemv_minus(m - w, w, panel + w, m, x.data() + c1, xs);
       for (index_t t = w; t < m; ++t) x[rows[t]] += xs[t - w];
     }
   }
 }
 
+void panel_forward_solve(const SupernodalLayout& layout,
+                         std::span<const value_t> panels,
+                         std::span<value_t> x) {
+  std::vector<value_t> scratch(
+      static_cast<std::size_t>(max_tail_rows(layout)));
+  panel_forward_solve(layout, panels, x, scratch);
+}
+
 void panel_backward_solve(const SupernodalLayout& layout,
-                          std::span<const value_t> panels,
-                          std::span<value_t> x) {
-  std::vector<value_t> xg;
+                          std::span<const value_t> panels, std::span<value_t> x,
+                          std::span<value_t> scratch) {
+  value_t* xg = scratch.data();
   for (index_t s = layout.nsuper() - 1; s >= 0; --s) {
     const index_t c1 = layout.sn.start[s];
     const index_t w = layout.width(s);
@@ -149,12 +195,63 @@ void panel_backward_solve(const SupernodalLayout& layout,
     const index_t* rows = layout.srows.data() + layout.srow_ptr[s];
     const value_t* panel = panels.data() + layout.panel_ptr[s];
     if (m > w) {
-      xg.resize(static_cast<std::size_t>(m - w));
       for (index_t t = w; t < m; ++t) xg[t - w] = x[rows[t]];
-      blas::gemv_trans_minus(m - w, w, panel + w, m, xg.data(),
-                             x.data() + c1);
+      blas::gemv_trans_minus(m - w, w, panel + w, m, xg, x.data() + c1);
     }
     blas::trsv_lower_transpose(w, panel, m, x.data() + c1);
+  }
+}
+
+void panel_backward_solve(const SupernodalLayout& layout,
+                          std::span<const value_t> panels,
+                          std::span<value_t> x) {
+  std::vector<value_t> scratch(
+      static_cast<std::size_t>(max_tail_rows(layout)));
+  panel_backward_solve(layout, panels, x, scratch);
+}
+
+void panel_forward_solve_multi(const SupernodalLayout& layout,
+                               std::span<const value_t> panels, value_t* xp,
+                               index_t nrhs, index_t ldp, value_t* tail) {
+  for (index_t s = 0; s < layout.nsuper(); ++s) {
+    const index_t c1 = layout.sn.start[s];
+    const index_t w = layout.width(s);
+    const index_t m = layout.nrows(s);
+    const index_t* rows = layout.srows.data() + layout.srow_ptr[s];
+    const value_t* panel = panels.data() + layout.panel_ptr[s];
+    blas::trsm_lower_multi(w, nrhs, panel, m, xp + c1 * ldp, ldp);
+    if (m > w) {
+      std::fill(tail, tail + static_cast<std::int64_t>(m - w) * ldp, 0.0);
+      blas::gemm_minus_multi(m - w, w, nrhs, panel + w, m, xp + c1 * ldp, ldp,
+                             tail, ldp);
+      for (index_t t = w; t < m; ++t) {
+        value_t* dst = xp + rows[t] * ldp;
+        const value_t* src = tail + static_cast<std::int64_t>(t - w) * ldp;
+        for (index_t r = 0; r < nrhs; ++r) dst[r] += src[r];
+      }
+    }
+  }
+}
+
+void panel_backward_solve_multi(const SupernodalLayout& layout,
+                                std::span<const value_t> panels, value_t* xp,
+                                index_t nrhs, index_t ldp, value_t* tail) {
+  for (index_t s = layout.nsuper() - 1; s >= 0; --s) {
+    const index_t c1 = layout.sn.start[s];
+    const index_t w = layout.width(s);
+    const index_t m = layout.nrows(s);
+    const index_t* rows = layout.srows.data() + layout.srow_ptr[s];
+    const value_t* panel = panels.data() + layout.panel_ptr[s];
+    if (m > w) {
+      for (index_t t = w; t < m; ++t) {
+        const value_t* src = xp + rows[t] * ldp;
+        value_t* dst = tail + static_cast<std::int64_t>(t - w) * ldp;
+        for (index_t r = 0; r < nrhs; ++r) dst[r] = src[r];
+      }
+      blas::gemm_trans_minus_multi(m - w, w, nrhs, panel + w, m, tail, ldp,
+                                   xp + c1 * ldp, ldp);
+    }
+    blas::trsm_lower_transpose_multi(w, nrhs, panel, m, xp + c1 * ldp, ldp);
   }
 }
 

@@ -81,24 +81,56 @@ struct UpdateLists {
 };
 [[nodiscard]] UpdateLists compute_update_lists(const SupernodalLayout& layout);
 
-/// Scatter the lower triangle of A into zeroed panels.
+/// Scatter the lower triangle of A into zeroed panels. `map` is caller
+/// scratch of at least layout.n entries (plan-sized workspace); the
+/// convenience overload allocates it per call (library-baseline behavior).
+void scatter_into_panels(const SupernodalLayout& layout,
+                         const CscMatrix& a_lower, std::span<value_t> panels,
+                         std::span<index_t> map);
 void scatter_into_panels(const SupernodalLayout& layout,
                          const CscMatrix& a_lower,
                          std::span<value_t> panels);
 
-/// Convert factored panels to a CSC lower-triangular factor.
+/// Convert factored panels to a CSC lower-triangular factor. The exact nnz
+/// is known from the layout, so the output arrays are sized once up front
+/// (no push_back growth).
 [[nodiscard]] CscMatrix panels_to_csc(const SupernodalLayout& layout,
                                       std::span<const value_t> panels);
 
-/// Supernodal forward solve L y = b over panels; x: b in, y out.
+/// Supernodal forward solve L y = b over panels; x: b in, y out. `scratch`
+/// is caller workspace of at least max_tail(layout) entries; the 3-arg
+/// overload allocates it per call.
+void panel_forward_solve(const SupernodalLayout& layout,
+                         std::span<const value_t> panels, std::span<value_t> x,
+                         std::span<value_t> scratch);
 void panel_forward_solve(const SupernodalLayout& layout,
                          std::span<const value_t> panels,
                          std::span<value_t> x);
 
 /// Supernodal backward solve L^T x = y over panels.
 void panel_backward_solve(const SupernodalLayout& layout,
+                          std::span<const value_t> panels, std::span<value_t> x,
+                          std::span<value_t> scratch);
+void panel_backward_solve(const SupernodalLayout& layout,
                           std::span<const value_t> panels,
                           std::span<value_t> x);
+
+/// Largest below-diagonal row count of any supernode (tail scratch size).
+[[nodiscard]] index_t max_tail_rows(const SupernodalLayout& layout);
+
+/// Multi-RHS supernodal solves over an RHS-major packed block: X(i, r) at
+/// xp[r + i * ldp], nrhs <= blas::kRhsBlockMax. `tail` is caller scratch of
+/// at least max_tail_rows(layout) * ldp values. Per RHS column the
+/// arithmetic is bit-identical to the single-RHS panel solves — blocking
+/// changes data movement (panels stream once per block instead of once per
+/// RHS; the r-loop is the unit-stride SIMD direction), never the per-column
+/// operation sequence.
+void panel_forward_solve_multi(const SupernodalLayout& layout,
+                               std::span<const value_t> panels, value_t* xp,
+                               index_t nrhs, index_t ldp, value_t* tail);
+void panel_backward_solve_multi(const SupernodalLayout& layout,
+                                std::span<const value_t> panels, value_t* xp,
+                                index_t nrhs, index_t ldp, value_t* tail);
 
 /// CHOLMOD-like supernodal left-looking Cholesky.
 ///

@@ -1,0 +1,142 @@
+// Zero-steady-state-allocation regression: once a Solver is warm (plan
+// resident, workspaces grown), factor() + solve() + solve_batch() must not
+// touch the heap — every numeric scratch lives in a plan-sized
+// core::Workspace. Pinned by counting global operator new calls.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "api/solver.h"
+#include "gen/generators.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}
+
+// Global operator new/delete replacements: count every allocation in the
+// process (this test binary links the whole library).
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+  return ::operator new(size, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace sympiler {
+namespace {
+
+std::vector<value_t> random_vec(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+  std::vector<value_t> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+/// Allocations performed by fn().
+template <class Fn>
+std::uint64_t allocations_in(Fn&& fn) {
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  fn();
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+void check_zero_warm_allocations(const CscMatrix& a,
+                                 api::SolverConfig config) {
+  api::Solver solver(config, nullptr);
+  const auto n = static_cast<std::size_t>(a.cols());
+  const index_t nrhs = 40;  // crosses one packed-block boundary
+  std::vector<value_t> xs =
+      random_vec(n * static_cast<std::size_t>(nrhs), 11);
+  std::vector<value_t> x1 = random_vec(n, 12);
+  // Warm up: plan built and cached, executor workspaces grown, per-thread
+  // batch workspaces grown (and under OpenMP, the thread team spawned).
+  solver.factor(a);
+  solver.solve(x1);
+  solver.solve_batch(xs, nrhs);
+  solver.factor(a);
+  // Steady state: a warm factor + single solve + batched solve must not
+  // allocate at all.
+  const std::uint64_t during = allocations_in([&] {
+    solver.factor(a);
+    solver.solve(x1);
+    solver.solve_batch(xs, nrhs);
+  });
+  EXPECT_EQ(during, 0u) << "warm factor()+solve()+solve_batch() allocated";
+}
+
+TEST(ZeroAllocation, WarmSupernodalFactorAndBatchSolve) {
+  api::SolverConfig config;
+  config.enable_parallel = false;
+  check_zero_warm_allocations(gen::grid2d_laplacian(40, 40), config);
+}
+
+TEST(ZeroAllocation, WarmSimplicialFactorAndBatchSolve) {
+  api::SolverConfig config;
+  config.enable_parallel = false;
+  config.options.vs_block = false;
+  check_zero_warm_allocations(gen::grid2d_laplacian(24, 24), config);
+}
+
+TEST(ZeroAllocation, WarmTriangularSolveBatch) {
+  api::SolverConfig config;
+  config.enable_parallel = false;
+  api::Solver chol(config, nullptr);
+  const CscMatrix a = gen::grid2d_laplacian(40, 40);
+  chol.factor(a);
+  const CscMatrix l = chol.factor_csc();
+  std::vector<index_t> beta(static_cast<std::size_t>(l.cols()));
+  for (index_t j = 0; j < l.cols(); ++j) beta[j] = j;
+  api::TriangularSolver tri(l, beta, config, nullptr);
+  ASSERT_EQ(tri.path(), api::ExecutionPath::BlockedTriSolve);
+  const auto n = static_cast<std::size_t>(l.cols());
+  const index_t nrhs = 40;
+  std::vector<value_t> xs = random_vec(n * static_cast<std::size_t>(nrhs), 3);
+  std::vector<value_t> x1 = random_vec(n, 4);
+  tri.solve(x1);
+  tri.solve_batch(xs, nrhs);  // grows the packed workspace once
+  const std::uint64_t during = g_allocations.load();
+  tri.solve(x1);
+  tri.solve_batch(xs, nrhs);
+  EXPECT_EQ(g_allocations.load() - during, 0u)
+      << "warm triangular solve/solve_batch allocated";
+}
+
+#ifdef SYMPILER_HAS_OPENMP
+TEST(ZeroAllocation, WarmParallelFactorAndBatchSolve) {
+  // The level-set parallel interpreter keeps one grow-only workspace per
+  // OS thread; once the team and workspaces are warm, a parallel factor +
+  // batched solve is allocation-free too (OpenMP runtime included — it
+  // reuses its thread team after the warm-up region).
+  api::SolverConfig config;
+  config.enable_parallel = true;
+  config.parallel_min_supernodes = 1;
+  config.parallel_min_avg_level_width = 0.0;
+  check_zero_warm_allocations(gen::grid2d_laplacian(40, 40), config);
+}
+#endif
+
+}  // namespace
+}  // namespace sympiler

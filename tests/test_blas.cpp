@@ -1,8 +1,11 @@
 // Tests for the mini-BLAS kernels against straightforward dense references.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "blas/kernels.h"
@@ -197,6 +200,200 @@ TEST(Gemv, MinusAndTransposeMinus) {
     zref[j] -= s;
   }
   for (index_t j = 0; j < n; ++j) EXPECT_NEAR(z[j], zref[j], 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: the register-blocked kernels must reproduce the _ref scalar
+// kernels exactly (same per-element operation sequence), for every shape
+// 1..64 and with ragged leading dimensions. EXPECT_EQ on doubles is exact.
+// ---------------------------------------------------------------------------
+
+/// Random buffer with a ragged leading dimension: rows*cols values live in
+/// an lda-strided buffer, padding poisoned with NaN to catch overreads.
+std::vector<value_t> ragged(index_t rows, index_t lda, index_t cols,
+                            std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+  std::vector<value_t> a(static_cast<std::size_t>(lda) * cols,
+                         std::numeric_limits<value_t>::quiet_NaN());
+  for (index_t j = 0; j < cols; ++j)
+    for (index_t i = 0; i < rows; ++i) a[i + j * lda] = dist(rng);
+  return a;
+}
+
+void expect_bits_equal(std::span<const value_t> a, std::span<const value_t> b,
+                       const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    if (std::isnan(a[t]) && std::isnan(b[t])) continue;  // padding
+    ASSERT_EQ(a[t], b[t]) << what << " differs at flat index " << t;
+  }
+}
+
+TEST(BitIdentity, GemmAllShapes) {
+  for (const index_t k : {1, 2, 5, 16}) {
+    for (index_t m = 1; m <= 64; m += (m < 12 ? 1 : 7)) {
+      for (index_t n = 1; n <= 64; n += (n < 12 ? 1 : 7)) {
+        const index_t lda = m + 3, ldb = n + 1, ldc = m + 5;
+        const std::vector<value_t> a = ragged(m, lda, k, 1000 + m + n + k);
+        const std::vector<value_t> b = ragged(n, ldb, k, 2000 + m + n + k);
+        std::vector<value_t> c1 = ragged(m, ldc, n, 3000 + m + n + k);
+        std::vector<value_t> c2 = c1;
+        blas::gemm_nt_minus_ref(m, n, k, a.data(), lda, b.data(), ldb,
+                                c1.data(), ldc);
+        blas::gemm_nt_minus(m, n, k, a.data(), lda, b.data(), ldb, c2.data(),
+                            ldc);
+        expect_bits_equal(c1, c2, "gemm");
+      }
+    }
+  }
+}
+
+TEST(BitIdentity, SyrkAllShapes) {
+  for (const index_t k : {1, 3, 9}) {
+    for (index_t n = 1; n <= 64; ++n) {
+      const index_t lda = n + 2, ldc = n + 4;
+      const std::vector<value_t> a = ragged(n, lda, k, 4000 + n + k);
+      std::vector<value_t> c1 = ragged(n, ldc, n, 5000 + n + k);
+      std::vector<value_t> c2 = c1;
+      blas::syrk_lower_minus_ref(n, k, a.data(), lda, c1.data(), ldc);
+      blas::syrk_lower_minus(n, k, a.data(), lda, c2.data(), ldc);
+      expect_bits_equal(c1, c2, "syrk");
+    }
+  }
+}
+
+TEST(BitIdentity, PotrfAllSizes) {
+  for (index_t n = 1; n <= 64; ++n) {
+    const index_t lda = n + (n % 3);
+    std::vector<value_t> a(static_cast<std::size_t>(lda) * n,
+                           std::numeric_limits<value_t>::quiet_NaN());
+    const std::vector<value_t> spd = random_spd_dense(n, 6000 + n);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < n; ++i) a[i + j * lda] = spd[i + j * n];
+    std::vector<value_t> l1 = a, l2 = a;
+    blas::potrf_lower_ref(n, l1.data(), lda);
+    blas::potrf_lower(n, l2.data(), lda);
+    expect_bits_equal(l1, l2, "potrf");
+  }
+}
+
+TEST(BitIdentity, TrsvAndTransposeAllSizes) {
+  for (index_t n = 1; n <= 64; ++n) {
+    const index_t lda = n + (n % 5);
+    std::vector<value_t> l(static_cast<std::size_t>(lda) * n, 0.0);
+    const std::vector<value_t> spd = random_spd_dense(n, 7000 + n);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < n; ++i) l[i + j * lda] = spd[i + j * n];
+    blas::potrf_lower(n, l.data(), lda);
+    std::vector<value_t> x1 = random_vec(n, 7100 + n);
+    std::vector<value_t> x2 = x1;
+    blas::trsv_lower_ref(n, l.data(), lda, x1.data());
+    blas::trsv_lower(n, l.data(), lda, x2.data());
+    expect_bits_equal(x1, x2, "trsv");
+    blas::trsv_lower_transpose_ref(n, l.data(), lda, x1.data());
+    blas::trsv_lower_transpose(n, l.data(), lda, x2.data());
+    expect_bits_equal(x1, x2, "trsv^T");
+  }
+}
+
+TEST(BitIdentity, TrsmAllShapes) {
+  for (index_t n = 1; n <= 24; ++n) {
+    for (const index_t m : {1, 2, 7, 16, 33, 64}) {
+      const index_t ldl = n + 1, ldb = m + 2;
+      std::vector<value_t> l(static_cast<std::size_t>(ldl) * n, 0.0);
+      const std::vector<value_t> spd = random_spd_dense(n, 8000 + n + m);
+      for (index_t j = 0; j < n; ++j)
+        for (index_t i = 0; i < n; ++i) l[i + j * ldl] = spd[i + j * n];
+      blas::potrf_lower(n, l.data(), ldl);
+      std::vector<value_t> b1 = ragged(m, ldb, n, 8100 + n + m);
+      std::vector<value_t> b2 = b1;
+      blas::trsm_right_lower_trans_ref(m, n, l.data(), ldl, b1.data(), ldb);
+      blas::trsm_right_lower_trans(m, n, l.data(), ldl, b2.data(), ldb);
+      expect_bits_equal(b1, b2, "trsm");
+    }
+  }
+}
+
+TEST(BitIdentity, GemvAllShapes) {
+  for (index_t m = 1; m <= 64; m += (m < 12 ? 1 : 5)) {
+    for (index_t n = 1; n <= 17; ++n) {
+      const index_t lda = m + 1;
+      const std::vector<value_t> a = ragged(m, lda, n, 9000 + m + n);
+      const std::vector<value_t> x = random_vec(std::max(m, n), 9100 + m + n);
+      std::vector<value_t> y1 = random_vec(std::max(m, n), 9200 + m + n);
+      std::vector<value_t> y2 = y1;
+      blas::gemv_minus_ref(m, n, a.data(), lda, x.data(), y1.data());
+      blas::gemv_minus(m, n, a.data(), lda, x.data(), y2.data());
+      expect_bits_equal(y1, y2, "gemv");
+      blas::gemv_trans_minus_ref(m, n, a.data(), lda, x.data(), y1.data());
+      blas::gemv_trans_minus(m, n, a.data(), lda, x.data(), y2.data());
+      expect_bits_equal(y1, y2, "gemv^T");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-RHS kernels: per RHS column, bit-identical to the single-RHS kernel.
+// ---------------------------------------------------------------------------
+
+TEST(MultiRhs, PackRoundTripAndKernelsMatchLoopedSingle) {
+  for (const index_t n : {1, 5, 16, 40}) {
+    for (const index_t nrhs : {1, 2, 7, 8, 31, 32}) {
+      std::vector<value_t> l = random_spd_dense(n, 10000 + n + nrhs);
+      blas::potrf_lower(n, l.data(), n);
+      // Column-major batch, packed copy, and the ragged pack stride.
+      const index_t ldp = nrhs + 1;
+      const std::vector<value_t> base =
+          random_vec(n * nrhs, 10100 + n + nrhs);
+      std::vector<value_t> cols = base;
+      std::vector<value_t> packed(static_cast<std::size_t>(n) * ldp, -7.0);
+      blas::pack_rhs(n, nrhs, cols.data(), n, packed.data(), ldp);
+      std::vector<value_t> round(cols.size(), 0.0);
+      blas::unpack_rhs(n, nrhs, packed.data(), ldp, round.data(), n);
+      expect_bits_equal(cols, round, "pack/unpack");
+
+      // trsm_lower_multi vs per-column trsv_lower.
+      blas::trsm_lower_multi(n, nrhs, l.data(), n, packed.data(), ldp);
+      for (index_t r = 0; r < nrhs; ++r)
+        blas::trsv_lower(n, l.data(), n, cols.data() + r * n);
+      std::vector<value_t> unpacked(cols.size());
+      blas::unpack_rhs(n, nrhs, packed.data(), ldp, unpacked.data(), n);
+      expect_bits_equal(cols, unpacked, "trsm_lower_multi");
+
+      // trsm_lower_transpose_multi vs per-column trsv_lower_transpose.
+      blas::trsm_lower_transpose_multi(n, nrhs, l.data(), n, packed.data(),
+                                       ldp);
+      for (index_t r = 0; r < nrhs; ++r)
+        blas::trsv_lower_transpose(n, l.data(), n, cols.data() + r * n);
+      blas::unpack_rhs(n, nrhs, packed.data(), ldp, unpacked.data(), n);
+      expect_bits_equal(cols, unpacked, "trsm_lower_transpose_multi");
+
+      // gemm_minus_multi vs per-column gemv_minus (m x n panel).
+      const index_t m = n + 3;
+      const std::vector<value_t> a = ragged(m, m, n, 10200 + n + nrhs);
+      std::vector<value_t> ycols = random_vec(m * nrhs, 10300 + n + nrhs);
+      std::vector<value_t> ypacked(static_cast<std::size_t>(m) * ldp, 0.0);
+      blas::pack_rhs(m, nrhs, ycols.data(), m, ypacked.data(), ldp);
+      blas::gemm_minus_multi(m, n, nrhs, a.data(), m, packed.data(), ldp,
+                             ypacked.data(), ldp);
+      for (index_t r = 0; r < nrhs; ++r)
+        blas::gemv_minus(m, n, a.data(), m, cols.data() + r * n,
+                         ycols.data() + r * m);
+      std::vector<value_t> yunpacked(ycols.size());
+      blas::unpack_rhs(m, nrhs, ypacked.data(), ldp, yunpacked.data(), m);
+      expect_bits_equal(ycols, yunpacked, "gemm_minus_multi");
+
+      // gemm_trans_minus_multi vs per-column gemv_trans_minus.
+      blas::gemm_trans_minus_multi(m, n, nrhs, a.data(), m, ypacked.data(),
+                                   ldp, packed.data(), ldp);
+      for (index_t r = 0; r < nrhs; ++r)
+        blas::gemv_trans_minus(m, n, a.data(), m, ycols.data() + r * m,
+                               cols.data() + r * n);
+      blas::unpack_rhs(n, nrhs, packed.data(), ldp, unpacked.data(), n);
+      expect_bits_equal(cols, unpacked, "gemm_trans_minus_multi");
+    }
+  }
 }
 
 TEST(Trsv, ZeroDiagonalThrows) {
