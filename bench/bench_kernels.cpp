@@ -15,11 +15,19 @@
 // path) and api::TriangularSolver (blocked path): nrhs looped solve()
 // calls vs one blocked solve_batch(), bit-identical results.
 //
+// Section 4 — level-set parallel trisolve (OpenMP builds). The retired
+// atomic wavefront (kept here, and only here, as the baseline — the
+// library no longer contains any omp atomic) against the level-private
+// deterministic scheme, plus the packed multi-RHS level sweep at growing
+// block widths.
+//
 // Results print as tables and land in BENCH_kernels.json for the per-PR
 // perf artifact. `--smoke` runs a reduced shape set with short reps (CI).
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <random>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +35,7 @@
 #include "bench/common.h"
 #include "blas/kernels.h"
 #include "gen/generators.h"
+#include "parallel/levelset.h"
 #include "util/timer.h"
 
 using namespace sympiler;
@@ -280,9 +289,121 @@ BatchRow bench_trisolve_batch(const CscMatrix& a, index_t nrhs, bool smoke) {
   return row;
 }
 
+struct ParTriRow {
+  std::string scheme;
+  index_t n = 0, nrhs = 1;
+  double seconds = 0.0;  ///< per full (possibly batched) solve
+  double per_rhs_vs_serial = 0.0;
+};
+
+/// The pre-fix wavefront with per-element atomics — result bits depend on
+/// thread interleaving, which is exactly why the library replaced it.
+/// Benchmarked here to quantify what determinism costs (or saves).
+void atomic_trisolve(const CscMatrix& l,
+                     const parallel::LevelSchedule& schedule,
+                     std::span<value_t> x) {
+  const index_t* Li = l.rowind.data();
+  const value_t* Lx = l.values.data();
+  value_t* xp = x.data();
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp parallel
+#endif
+  for (index_t lev = 0; lev < schedule.levels(); ++lev) {
+    const index_t lo = schedule.level_ptr[lev];
+    const index_t hi = schedule.level_ptr[lev + 1];
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (index_t t = lo; t < hi; ++t) {
+      const index_t j = schedule.items[t];
+      const index_t p0 = l.col_begin(j);
+      const value_t xj = xp[j] / Lx[p0];
+      xp[j] = xj;
+      for (index_t p = p0 + 1; p < l.col_end(j); ++p) {
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp atomic
+#endif
+        xp[Li[p]] -= Lx[p] * xj;
+      }
+    }
+  }
+}
+
+std::vector<ParTriRow> bench_parallel_trisolve(bool smoke) {
+  const index_t g = smoke ? 60 : 110;
+  const CscMatrix a = gen::grid2d_laplacian(g, g);
+  api::SolverConfig chol_config;
+  chol_config.enable_parallel = false;
+  api::Solver chol(chol_config, nullptr);
+  chol.factor(a);
+  const CscMatrix l = chol.factor_csc();
+  const index_t n = l.cols();
+  std::vector<index_t> beta(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) beta[static_cast<std::size_t>(j)] = j;
+
+  core::PlannerConfig pc;
+  pc.options.vsblock_min_avg_size = 1e9;  // pruned baseline, parallel plan
+  pc.enable_parallel = true;
+  pc.parallel_min_avg_level_width = 0.0;
+  auto plan = std::make_shared<const core::TriSolvePlan>(
+      core::Planner(pc).plan_trisolve(l, beta, nullptr, /*with_key=*/false));
+  if (plan->path != core::ExecutionPath::ParallelTriSolve)
+    return {};  // sequential build: the planner never opens the path
+
+  const int reps = smoke ? 3 : 5;
+  std::vector<ParTriRow> rows;
+  const std::vector<value_t> b = random_vec(static_cast<std::size_t>(n));
+  std::vector<value_t> x(b.size());
+
+  core::TriSolveExecutor serial(plan, l);
+  const double serial_seconds = bench::median_seconds(
+      [&] {
+        std::memcpy(x.data(), b.data(), x.size() * sizeof(value_t));
+        serial.solve(x);
+      },
+      reps);
+  rows.push_back({"serial-pruned", n, 1, serial_seconds, 1.0});
+
+  const double atomic_seconds = bench::median_seconds(
+      [&] {
+        std::memcpy(x.data(), b.data(), x.size() * sizeof(value_t));
+        atomic_trisolve(l, plan->schedule, x);
+      },
+      reps);
+  rows.push_back(
+      {"atomic (retired)", n, 1, atomic_seconds,
+       serial_seconds / atomic_seconds});
+
+  core::Workspace ws;
+  const double private_seconds = bench::median_seconds(
+      [&] {
+        std::memcpy(x.data(), b.data(), x.size() * sizeof(value_t));
+        parallel::parallel_trisolve(l, *plan, x, ws);
+      },
+      reps);
+  rows.push_back({"level-private", n, 1, private_seconds,
+                  serial_seconds / private_seconds});
+
+  for (const index_t nrhs : {8, 32}) {
+    const std::vector<value_t> base =
+        random_vec(static_cast<std::size_t>(n) * nrhs);
+    std::vector<value_t> xs(base.size());
+    const double batch_seconds = bench::median_seconds(
+        [&] {
+          std::memcpy(xs.data(), base.data(), xs.size() * sizeof(value_t));
+          parallel::parallel_trisolve_batch(l, *plan, xs, nrhs, ws);
+        },
+        reps);
+    rows.push_back({"level-private-multi", n, nrhs, batch_seconds,
+                    serial_seconds / (batch_seconds / nrhs)});
+  }
+  return rows;
+}
+
 void emit_json(const std::vector<KernelRow>& kernels,
                const std::vector<MultiRhsRow>& multi,
-               const std::vector<BatchRow>& batches) {
+               const std::vector<BatchRow>& batches,
+               const std::vector<ParTriRow>& partri) {
   std::FILE* f = std::fopen("BENCH_kernels.json", "w");
   if (f == nullptr) {
     std::printf("!! could not open BENCH_kernels.json for writing\n");
@@ -318,6 +439,15 @@ void emit_json(const std::vector<KernelRow>& kernels,
                  r.path.c_str(), r.n, r.nrhs, r.looped_seconds,
                  r.blocked_seconds, r.speedup(),
                  i + 1 < batches.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"parallel_trisolve\": [\n");
+  for (std::size_t i = 0; i < partri.size(); ++i) {
+    const ParTriRow& r = partri[i];
+    std::fprintf(f,
+                 "    {\"scheme\": \"%s\", \"n\": %d, \"nrhs\": %d, "
+                 "\"seconds\": %.6f, \"per_rhs_speedup_vs_serial\": %.3f}%s\n",
+                 r.scheme.c_str(), r.n, r.nrhs, r.seconds,
+                 r.per_rhs_vs_serial, i + 1 < partri.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -399,6 +529,21 @@ int main(int argc, char** argv) {
     std::printf("%-32s %7d %6d   %10.5f %10.5f %7.2fx\n", r.path.c_str(), r.n,
                 r.nrhs, r.looped_seconds, r.blocked_seconds, r.speedup());
 
-  emit_json(kernels, multi, batches);
+  std::printf(
+      "\n== level-set parallel trisolve: atomic vs level-private, "
+      "1 vs multi RHS ==\n");
+  const std::vector<ParTriRow> partri = bench_parallel_trisolve(smoke);
+  if (partri.empty()) {
+    std::printf("(skipped: built without OpenMP — no parallel plan)\n");
+  } else {
+    std::printf("%-22s %7s %6s   %10s %22s\n", "scheme", "n", "nrhs",
+                "seconds", "per-RHS vs serial");
+    bench::print_rule(74);
+    for (const ParTriRow& r : partri)
+      std::printf("%-22s %7d %6d   %10.6f %21.2fx\n", r.scheme.c_str(), r.n,
+                  r.nrhs, r.seconds, r.per_rhs_vs_serial);
+  }
+
+  emit_json(kernels, multi, batches, partri);
   return 0;
 }

@@ -60,11 +60,13 @@ void Solver::prepare_symbolic(const CscMatrix& a_lower) {
   if (plan_->path == ExecutionPath::ParallelSupernodal) {
     panels_.assign(
         static_cast<std::size_t>(plan_->sets.layout.total_values()), 0.0);
-    // Single-RHS panel-solve tail scratch only (the batch path uses
-    // per-thread workspaces inside blocked_panel_solve_batch, and the
-    // parallel factorization its own thread-local ones).
+    // Single-RHS panel-solve tail scratch only; the batch path grows the
+    // shared packed-block + privatized-terms buffers on its first call
+    // (per-thread tail scratch lives in the sweeps' thread_local
+    // workspaces, and the parallel factorization in its own).
     core::WorkspaceDims dims = plan_->workspace;
     dims.rhs_block = 0;
+    dims.update_slots = 0;
     dims.max_panel_rows = 0;
     dims.max_panel_width = 0;
     dims.need_map = false;
@@ -84,6 +86,7 @@ void Solver::solve(std::span<value_t> bx) const {
                      static_cast<index_t>(plan_->sets.sym.parent.size()),
                  "solver: RHS size mismatch");
   if (plan_->path == ExecutionPath::ParallelSupernodal) {
+    const core::Workspace::Borrow guard(ws_);
     solvers::panel_forward_solve(plan_->sets.layout, panels_, bx, ws_.tail());
     solvers::panel_backward_solve(plan_->sets.layout, panels_, bx, ws_.tail());
   } else {
@@ -97,13 +100,14 @@ void Solver::solve_batch(std::span<value_t> bx, index_t nrhs) const {
   const std::size_t n = plan_->sets.sym.parent.size();
   SYMPILER_CHECK(bx.size() == n * static_cast<std::size_t>(nrhs),
                  "solver: batch size mismatch");
-  // Thin dispatch on the plan's path: both supernodal interpreters share
-  // the factored panels, so the batch lowers onto packed RHS blocks swept
-  // through the multi-RHS panel kernels (blocks run in parallel under
-  // OpenMP, with per-thread plan-sized workspaces).
+  // Thin dispatch on the plan's path: a parallel plan sweeps packed RHS
+  // blocks through its level schedule (parallel inside each level,
+  // slot-privatized forward updates — bit-identical per column to looped
+  // solve()); the sequential supernodal path tiles blocks over the
+  // multi-RHS panel kernels.
   if (plan_->path == ExecutionPath::ParallelSupernodal) {
-    core::blocked_panel_solve_batch(plan_->sets.layout, panels_,
-                                    plan_->workspace, bx, nrhs);
+    const core::Workspace::Borrow guard(ws_);
+    parallel::parallel_panel_solve_batch(*plan_, panels_, bx, nrhs, ws_);
   } else {
     executor_->solve_batch(bx, nrhs);
   }
@@ -171,13 +175,25 @@ TriangularSolver::TriangularSolver(const CscMatrix& l,
       n_(l.cols()),
       executor_(lookup_trisolve_plan(l, beta, config, *context_,
                                      symbolic_cached_),
-                l) {}
+                l) {
+  if (executor_.plan().path == ExecutionPath::ParallelTriSolve) {
+    // Pre-grow the parallel interpreter's terms buffer so the first
+    // solve() is already allocation-free (the packed batch block still
+    // grows on the first solve_batch, sized to the batch actually used).
+    core::WorkspaceDims dims = executor_.plan().workspace;
+    dims.rhs_block = 0;
+    pws_.ensure(dims);
+  }
+}
 
 void TriangularSolver::solve(std::span<value_t> x) const {
   SYMPILER_CHECK(static_cast<index_t>(x.size()) == n_,
                  "triangular solver: size mismatch");
   if (executor_.plan().path == ExecutionPath::ParallelTriSolve) {
-    parallel::parallel_trisolve(*l_, executor_.plan(), x);
+    // Level-set interpreter with the plan's privatized update slots:
+    // atomic-free, bit-identical to executor_.solve() at any thread count.
+    const core::Workspace::Borrow guard(pws_);
+    parallel::parallel_trisolve(*l_, executor_.plan(), x, pws_);
   } else {
     executor_.solve(x);
   }
@@ -189,10 +205,11 @@ void TriangularSolver::solve_batch(std::span<value_t> xs, index_t nrhs) const {
   SYMPILER_CHECK(xs.size() == n * static_cast<std::size_t>(nrhs),
                  "triangular solver: batch size mismatch");
   if (executor_.plan().path == ExecutionPath::ParallelTriSolve) {
-    // Level-set path: each RHS is itself a parallel solve; run them back
-    // to back.
-    for (index_t r = 0; r < nrhs; ++r)
-      solve(xs.subspan(static_cast<std::size_t>(r) * n, n));
+    // Blocked level-set path: packed RHS blocks sweep the level schedule
+    // (parallel inside each level), per column bit-identical to looped
+    // solve().
+    const core::Workspace::Borrow guard(pws_);
+    parallel::parallel_trisolve_batch(*l_, executor_.plan(), xs, nrhs, pws_);
     return;
   }
   // Sequential paths: the executor tiles the batch into packed RHS blocks

@@ -200,6 +200,12 @@ class TriangularSolver {
   index_t n_ = 0;
   bool symbolic_cached_ = false;
   core::TriSolveExecutor executor_;
+  /// Plan-sized scratch of the level-set parallel interpreters: the
+  /// privatized update terms and the packed RHS block (shared across the
+  /// level threads; slots are disjoint by construction). Grow-only, so
+  /// warm parallel solves allocate nothing. Mutable: solve() is logically
+  /// const. Guarded against concurrent borrow in debug builds.
+  mutable core::Workspace pws_;
 };
 
 }  // namespace sympiler::api

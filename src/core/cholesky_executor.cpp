@@ -41,6 +41,8 @@ CholeskyExecutor::CholeskyExecutor(std::shared_ptr<const CholeskyPlan> plan)
   WorkspaceDims dims = plan_->workspace;
   dims.rhs_block = 0;  // packed-RHS blocks live in solve_batch's per-thread
                        // workspaces; the tail keeps its single-RHS row
+  dims.update_slots = 0;  // privatized terms belong to the parallel
+                          // interpreters' workspaces, not this executor
   if (vs_block_applied()) {
     panels_.resize(static_cast<std::size_t>(sets_->layout.total_values()));
     dims.need_dense = false;  // dense column is simplicial-only scratch
@@ -52,6 +54,7 @@ CholeskyExecutor::CholeskyExecutor(std::shared_ptr<const CholeskyPlan> plan)
 
 void CholeskyExecutor::factorize(const CscMatrix& a_lower) {
   // Pure plan dispatch: the path was decided at plan time.
+  const Workspace::Borrow guard(ws_);
   if (vs_block_applied()) {
     factorize_supernodal(a_lower);
   } else {
@@ -178,6 +181,9 @@ void CholeskyExecutor::factorize_simplicial(const CscMatrix& a_lower) {
 void CholeskyExecutor::solve(std::span<value_t> bx) const {
   SYMPILER_CHECK(factorized_, "solve() before factorize()");
   if (vs_block_applied()) {
+    // solve() borrows the shared tail scratch — loud in debug builds if
+    // two threads enter one executor (use solve_batch instead).
+    const Workspace::Borrow guard(ws_);
     panel_forward_solve(sets_->layout, panels_, bx, ws_.tail());
     panel_backward_solve(sets_->layout, panels_, bx, ws_.tail());
   } else {

@@ -61,6 +61,11 @@ struct CholeskyPlan {
   CholeskySets sets;                 ///< inspection sets (owned)
   parallel::LevelSchedule schedule;  ///< supernode levels; empty unless
                                      ///< path == ParallelSupernodal
+  /// Privatized tail-update slots of the parallel forward panel solve
+  /// (one per below-diagonal panel row); empty unless path ==
+  /// ParallelSupernodal. Makes the level-set batch solve deterministic
+  /// without atomics.
+  parallel::UpdateSlotMap solve_update_map;
   ExecutionPath path = ExecutionPath::Simplicial;
   PlanEvidence evidence;
   /// Numeric scratch sizes this plan implies (executors size their
@@ -70,7 +75,8 @@ struct CholeskyPlan {
   /// Total heap footprint of the artifact — the plan cache's eviction
   /// weight (entries are weighed by bytes, not counted).
   [[nodiscard]] std::size_t bytes() const {
-    return sizeof(CholeskyPlan) + sets.bytes() + schedule.bytes();
+    return sizeof(CholeskyPlan) + sets.bytes() + schedule.bytes() +
+           solve_update_map.bytes();
   }
 
   /// One-paragraph human summary (CLI --explain).
@@ -85,13 +91,19 @@ struct TriSolvePlan {
   TriSolveSets sets;
   parallel::LevelSchedule schedule;  ///< column levels; empty unless
                                      ///< path == ParallelTriSolve
+  /// Privatized column-update slots (one per strictly-lower nonzero of L);
+  /// empty unless path == ParallelTriSolve. The level-set solve scatters
+  /// into these instead of racing on x, so it is bit-identical to the
+  /// serial pruned solve at any thread count.
+  parallel::UpdateSlotMap update_map;
   ExecutionPath path = ExecutionPath::PrunedTriSolve;
   PlanEvidence evidence;
   /// Numeric scratch sizes this plan implies.
   WorkspaceDims workspace;
 
   [[nodiscard]] std::size_t bytes() const {
-    return sizeof(TriSolvePlan) + sets.bytes() + schedule.bytes();
+    return sizeof(TriSolvePlan) + sets.bytes() + schedule.bytes() +
+           update_map.bytes();
   }
 
   [[nodiscard]] std::string summary() const;

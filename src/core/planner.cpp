@@ -108,9 +108,13 @@ CholeskyPlan Planner::plan_cholesky(const CscMatrix& a_lower,
 
   if (!plan.sets.vs_block_profitable) {
     plan.path = ExecutionPath::Simplicial;
+    // Simplicial scratch: the dense accumulation column + per-row cursor
+    // map only. No packed RHS blocks — the simplicial batch loops solve().
     plan.workspace.n = a_lower.cols();
+    plan.workspace.rhs_block = 0;
   } else {
     plan.workspace = cholesky_workspace_dims(plan.sets.layout);
+    plan.workspace.need_dense = false;  // dense column is simplicial-only
     plan.path = ExecutionPath::Supernodal;
     if (parallel_enabled() && config_.enable_parallel &&
         plan.sets.layout.nsuper() >= config_.parallel_min_supernodes) {
@@ -125,6 +129,12 @@ CholeskyPlan Planner::plan_cholesky(const CscMatrix& a_lower,
       if (ev.avg_level_width >= config_.parallel_min_avg_level_width) {
         plan.path = ExecutionPath::ParallelSupernodal;
         plan.schedule = std::move(schedule);
+        // Slot map of the forward panel solve: privatizes the tail
+        // updates so the level-set batch solve needs no atomics and is
+        // bit-identical to the serial panel solves (levelset.h).
+        plan.solve_update_map =
+            parallel::update_slots_supernodes(plan.sets.layout);
+        plan.workspace.update_slots = plan.solve_update_map.slots();
       }
     }
   }
@@ -149,15 +159,30 @@ TriSolvePlan Planner::plan_trisolve(const CscMatrix& l,
 
   plan.path = plan.sets.vs_block_profitable ? ExecutionPath::BlockedTriSolve
                                             : ExecutionPath::PrunedTriSolve;
+  // The CSC traversals need no scatter map or dense column on any path,
+  // and only the blocked path gathers block tails or packs RHS blocks —
+  // per workspace.h, a plan must not pin never-read scratch.
   plan.workspace.n = l.cols();
-  for (index_t s = 0; s < plan.sets.blocks.count(); ++s) {
-    const index_t c1 = plan.sets.blocks.start[s];
-    const index_t w = plan.sets.blocks.width(s);
-    plan.workspace.max_tail =
-        std::max(plan.workspace.max_tail, plan.sets.colcount[c1] - w);
+  plan.workspace.need_map = false;
+  plan.workspace.need_dense = false;
+  if (plan.path == ExecutionPath::BlockedTriSolve) {
+    for (index_t s = 0; s < plan.sets.blocks.count(); ++s) {
+      const index_t c1 = plan.sets.blocks.start[s];
+      const index_t w = plan.sets.blocks.width(s);
+      plan.workspace.max_tail =
+          std::max(plan.workspace.max_tail, plan.sets.colcount[c1] - w);
+    }
+  } else {
+    plan.workspace.rhs_block = 0;  // pruned batches loop solve()
   }
   const bool dense_rhs = static_cast<index_t>(beta.size()) == l.cols();
+  // The parallel path also requires vi_prune: its serial reference is the
+  // reach-order pruned solve. The naive (!vi_prune) loop skips exact-zero
+  // x[j] columns entirely, a data-dependent special case the level sweep
+  // cannot replay from the pattern alone without breaking bit identity on
+  // signed zeros.
   if (parallel_enabled() && config_.enable_parallel && dense_rhs &&
+      config_.options.vi_prune &&
       plan.path == ExecutionPath::PrunedTriSolve) {
     ev.parallel_considered = true;
     parallel::LevelSchedule schedule = parallel::level_schedule_columns(l);
@@ -166,6 +191,15 @@ TriSolvePlan Planner::plan_trisolve(const CscMatrix& l,
     if (ev.avg_level_width >= config_.parallel_min_avg_level_width) {
       plan.path = ExecutionPath::ParallelTriSolve;
       plan.schedule = std::move(schedule);
+      // Slot map privatizing the column updates: the level-set solve
+      // scatters into plan-assigned slots and folds them in serial order,
+      // so it is deterministic and atomic-free (levelset.h). The packed
+      // multi-RHS level sweep reuses the same map. The serial order to
+      // replay is the pruned executor's iteration order: the reach
+      // sequence.
+      plan.update_map = parallel::update_slots_columns(l, plan.sets.reach);
+      plan.workspace.update_slots = plan.update_map.slots();
+      plan.workspace.rhs_block = kRhsBlockWidth;
     }
   }
   ev.build_seconds = timer.seconds();

@@ -57,9 +57,13 @@ class Planner {
 
   /// Full triangular-solve planning. Pass `known_blocks` when L came out
   /// of the Cholesky inspector (supernodes need not be re-derived). The
-  /// ParallelTriSolve path is only picked for a dense RHS (|beta| == n):
-  /// with a sparse RHS the pruned sequential solve does strictly less
-  /// work, and the parallel solve's atomic updates are not bit-reproducible.
+  /// ParallelTriSolve path is only picked for a dense RHS (|beta| == n)
+  /// under vi_prune: with a sparse RHS the pruned sequential solve does
+  /// strictly less work than a full level sweep, and the !vi_prune naive
+  /// loop's skip-exact-zero special case cannot be replayed from the
+  /// pattern alone. A parallel plan also carries the
+  /// privatized update-slot map that keeps the level-set solve
+  /// bit-identical to the sequential one.
   [[nodiscard]] TriSolvePlan plan_trisolve(
       const CscMatrix& l, std::span<const index_t> beta,
       const SupernodePartition* known_blocks = nullptr,

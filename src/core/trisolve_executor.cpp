@@ -36,12 +36,12 @@ TriSolveExecutor::TriSolveExecutor(std::shared_ptr<const TriSolvePlan> plan,
   // Size the single-RHS tail scratch from the plan's dimensions (largest
   // block tail over all supernodes: the VS-Block-only configuration
   // traverses every block). The packed multi-RHS buffers grow on the first
-  // solve_batch and are reused after. The CSC traversal needs no scatter
-  // map or dense column.
+  // solve_batch and are reused after. A ParallelTriSolve plan is
+  // interpreted sequentially here, so its privatized terms stay unpinned
+  // (the parallel interpreter carries its own workspace).
   WorkspaceDims dims = plan_->workspace;
   dims.rhs_block = 0;
-  dims.need_map = false;
-  dims.need_dense = false;
+  dims.update_slots = 0;
   ws_.ensure(dims);
 }
 
@@ -51,6 +51,7 @@ void TriSolveExecutor::solve(std::span<value_t> x) const {
   // Pure plan dispatch: the path was decided at plan time. ParallelTriSolve
   // plans run the pruned interpretation when executed sequentially here.
   if (plan_->path == ExecutionPath::BlockedTriSolve) {
+    const Workspace::Borrow guard(ws_);
     solve_blocked(x);
   } else {
     solve_pruned(x);
@@ -179,16 +180,14 @@ void TriSolveExecutor::solve_batch(std::span<value_t> xs, index_t nrhs) const {
     return;
   }
   // Blocked path: pack RHS blocks and run the supernodal traversal once
-  // per block. The packed buffers grow on first use, then are steady.
+  // per block. Blocks are swept sequentially, so no lane narrowing. The
+  // packed buffers grow on first use, then are steady.
+  const Workspace::Borrow guard(ws_);
   const index_t bw =
-      std::min<index_t>(plan_->workspace.rhs_block > 0
-                            ? plan_->workspace.rhs_block
-                            : kRhsBlockWidth,
-                        blas::kRhsBlockMax);
+      rhs_block_width(plan_->workspace.rhs_block, nrhs, /*lanes=*/1);
   WorkspaceDims dims = plan_->workspace;
   dims.rhs_block = std::min(bw, nrhs);  // grow to the batch actually used
-  dims.need_map = false;
-  dims.need_dense = false;
+  dims.update_slots = 0;
   ws_.ensure(dims);
   for (index_t r0 = 0; r0 < nrhs; r0 += bw) {
     const index_t nb = std::min(bw, nrhs - r0);

@@ -8,6 +8,20 @@
 
 namespace sympiler::core {
 
+index_t rhs_block_width(index_t plan_block, index_t nrhs,
+                        index_t parallel_lanes) {
+  index_t bw = std::min<index_t>(plan_block > 0 ? plan_block : kRhsBlockWidth,
+                                 blas::kRhsBlockMax);
+  // Narrow the blocks when a full-width tiling would leave parallel lanes
+  // idle (e.g. 64 RHS on 8 lanes: 8 blocks of 8 beat 2 blocks of 32);
+  // below 8 columns the packed kernels stop paying for the pack traffic.
+  if (parallel_lanes > 1 && nrhs > 0) {
+    const index_t per_lane = (nrhs + parallel_lanes - 1) / parallel_lanes;
+    bw = std::max<index_t>(std::min(bw, per_lane), std::min<index_t>(8, bw));
+  }
+  return bw;
+}
+
 WorkspaceDims cholesky_workspace_dims(const solvers::SupernodalLayout& layout) {
   WorkspaceDims dims;
   dims.n = layout.n;
@@ -25,18 +39,12 @@ void blocked_panel_solve_batch(const solvers::SupernodalLayout& layout,
                                std::span<value_t> bx, index_t nrhs) {
   if (nrhs <= 0) return;
   const index_t n = layout.n;
-  index_t bw = std::min<index_t>(
-      dims.rhs_block > 0 ? dims.rhs_block : kRhsBlockWidth, blas::kRhsBlockMax);
 #ifdef SYMPILER_HAS_OPENMP
-  // Narrow the blocks when a full-width tiling would leave worker threads
-  // idle (e.g. 64 RHS on 8 threads: 8 blocks of 8 beat 2 blocks of 32);
-  // below 8 columns the packed kernels stop paying for the pack traffic.
-  const index_t threads = static_cast<index_t>(omp_get_max_threads());
-  if (threads > 1) {
-    const index_t per_thread = (nrhs + threads - 1) / threads;
-    bw = std::max<index_t>(std::min(bw, per_thread), std::min<index_t>(8, bw));
-  }
+  const index_t lanes = static_cast<index_t>(omp_get_max_threads());
+#else
+  const index_t lanes = 1;
 #endif
+  const index_t bw = rhs_block_width(dims.rhs_block, nrhs, lanes);
   // Workspaces grow to the batch actually requested, not the maximum block
   // width a plan allows — a 2-RHS batch must not pin an n x 32 buffer. The
   // per-thread workspaces touch only the packed RHS and tail buffers.
@@ -44,6 +52,7 @@ void blocked_panel_solve_batch(const solvers::SupernodalLayout& layout,
   sized.rhs_block = std::min(bw, nrhs);
   sized.max_panel_rows = 0;
   sized.max_panel_width = 0;
+  sized.update_slots = 0;
   sized.need_map = false;
   sized.need_dense = false;
   const index_t nblocks = (nrhs + bw - 1) / bw;

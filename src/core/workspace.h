@@ -1,21 +1,31 @@
 // Plan-sized numeric workspaces: every scratch buffer the numeric hot path
 // touches — the relative-index scatter map, the gather/update panels, the
-// packed RHS blocks and their tail accumulators — sized once from plan-time
-// dimensions and reused across every factor()/solve()/solve_batch().
+// packed RHS blocks and their tail accumulators, the privatized level-set
+// update terms — sized once from plan-time dimensions and reused across
+// every factor()/solve()/solve_batch().
 //
 // Ownership rules:
 //  * executors own a Workspace for their single-threaded numeric phases
 //    (mutable: solve() is logically const but borrows scratch);
 //  * the level-set parallel interpreters and the multi-RHS batch driver use
-//    one `thread_local` Workspace per OS thread, grow-only, shared across
-//    plans — a warm thread re-runs any resident plan without allocating;
+//    one `thread_local` Workspace per OS thread for thread-private scratch,
+//    grow-only, shared across plans — a warm thread re-runs any resident
+//    plan without allocating; buffers that threads share (the packed RHS
+//    block and the privatized terms) live in the caller's Workspace;
 //  * nothing in a steady-state numeric call allocates — pinned by the
-//    operator-new counter test (tests/test_alloc.cpp).
+//    operator-new counter test (tests/test_alloc.cpp);
+//  * a borrowed Workspace is not concurrency-safe: debug builds assert on
+//    concurrent entry via Workspace::Borrow (release builds compile the
+//    guard away).
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#ifndef NDEBUG
+#include <atomic>
+#endif
 
 #include "blas/kernels.h"
 #include "solvers/supernodal.h"
@@ -28,15 +38,32 @@ namespace sympiler::core {
 /// kernels. Bounded by the multi-RHS kernels' accumulator capacity.
 inline constexpr index_t kRhsBlockWidth = blas::kRhsBlockMax;
 
+/// Width of the packed RHS blocks a batch of `nrhs` columns should be
+/// tiled into. `plan_block` is the plan's rhs_block (0 means "use the
+/// default width"); `parallel_lanes` is the number of workers that take
+/// whole blocks concurrently — pass omp_get_max_threads() when blocks run
+/// in a parallel-for (narrow blocks keep every lane busy, but never below
+/// 8 columns, where packing stops paying), and 1 when blocks are swept
+/// sequentially (level-set batch paths, the sequential executor). The one
+/// narrowing rule shared by every batch driver.
+[[nodiscard]] index_t rhs_block_width(index_t plan_block, index_t nrhs,
+                                      index_t parallel_lanes);
+
 /// The numeric scratch dimensions a plan implies. Computed by the Planner
 /// at plan time (pure pattern function, cached with the plan) so executors
-/// size their workspaces once, before the first numeric call.
+/// size their workspaces once, before the first numeric call. The Planner
+/// trims every field its chosen path never touches — a plan must not pin
+/// never-read scratch.
 struct WorkspaceDims {
   index_t n = 0;                ///< problem order (map / dense scratch rows)
   index_t max_panel_rows = 0;   ///< max supernode panel rows (update tiles)
   index_t max_panel_width = 0;  ///< max supernode width (update tiles)
   index_t max_tail = 0;         ///< max below-diagonal rows of any block
   index_t rhs_block = kRhsBlockWidth;  ///< packed RHS block width
+  /// Privatized cross-item update slots of the level-set solves (one per
+  /// deferred update term; see parallel::UpdateSlotMap). 0 on sequential
+  /// paths.
+  index_t update_slots = 0;
   /// Which n-sized buffers this owner actually touches — the batch
   /// driver's per-thread workspaces and the trisolve executor need
   /// neither, and must not pin 12 bytes/row of never-read scratch.
@@ -53,7 +80,9 @@ struct WorkspaceDims {
            rows * static_cast<std::size_t>(max_panel_width) * sizeof(value_t) +
            static_cast<std::size_t>(n) * static_cast<std::size_t>(rhs_block) *
                sizeof(value_t) +
-           static_cast<std::size_t>(max_tail) * bw * sizeof(value_t);
+           (static_cast<std::size_t>(max_tail) +
+            static_cast<std::size_t>(update_slots)) *
+               bw * sizeof(value_t);
   }
 };
 
@@ -65,19 +94,27 @@ struct WorkspaceDims {
 /// a plan's dims, later calls at the same (or smaller) dims never allocate.
 class Workspace {
  public:
+  Workspace() = default;
+  // Workspaces are identity objects: buffers are borrowed by reference and
+  // the debug borrow flag must not be duplicated.
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
   void ensure(const WorkspaceDims& dims) {
     const auto n = static_cast<std::size_t>(dims.n);
     const auto upd = static_cast<std::size_t>(dims.max_panel_rows) *
                      static_cast<std::size_t>(dims.max_panel_width);
     const auto rhs = n * static_cast<std::size_t>(dims.rhs_block);
-    const auto tail =
-        static_cast<std::size_t>(dims.max_tail) *
+    const auto bw =
         static_cast<std::size_t>(dims.rhs_block > 0 ? dims.rhs_block : 1);
+    const auto tail = static_cast<std::size_t>(dims.max_tail) * bw;
+    const auto terms = static_cast<std::size_t>(dims.update_slots) * bw;
     if (dims.need_map && map_.size() < n) map_.resize(n);
     if (dims.need_dense && dense_.size() < n) dense_.resize(n);
     if (update_.size() < upd) update_.resize(upd);
     if (rhs_.size() < rhs) rhs_.resize(rhs);
     if (tail_.size() < tail) tail_.resize(tail);
+    if (terms_.size() < terms) terms_.resize(terms);
   }
 
   /// Row -> local-row scatter map (n entries).
@@ -91,6 +128,38 @@ class Workspace {
   /// Tail gather/accumulate block (max_tail rows x rhs_block, RHS-major).
   /// Also serves as the single-RHS panel-solve tail scratch.
   [[nodiscard]] std::span<value_t> tail() { return tail_; }
+  /// Privatized level-set update terms (update_slots rows x rhs_block,
+  /// RHS-major; x 1 when rhs_block is 0). Shared across the level-set
+  /// threads — slots are disjoint by construction.
+  [[nodiscard]] std::span<value_t> terms() { return terms_; }
+
+  /// Debug-build reentrancy guard over a borrowed workspace. solve() and
+  /// friends are logically const but borrow the owner's scratch, so one
+  /// instance must never be entered from two threads at once (the PR 3
+  /// breaking note). Debug builds turn that footnote into a loud failure:
+  /// constructing a second Borrow while one is live throws. Release builds
+  /// compile to nothing.
+  class Borrow {
+   public:
+#ifndef NDEBUG
+    explicit Borrow(Workspace& ws) : ws_(&ws) {
+      SYMPILER_CHECK(!ws.borrowed_.exchange(true, std::memory_order_acquire),
+                     "workspace: concurrent borrow — solve()/factorize() "
+                     "are not concurrency-safe on one instance; use "
+                     "solve_batch or per-thread owners");
+    }
+    ~Borrow() { ws_->borrowed_.store(false, std::memory_order_release); }
+#else
+    explicit Borrow(Workspace&) {}
+#endif
+    Borrow(const Borrow&) = delete;
+    Borrow& operator=(const Borrow&) = delete;
+
+#ifndef NDEBUG
+   private:
+    Workspace* ws_;
+#endif
+  };
 
  private:
   std::vector<index_t> map_;
@@ -98,6 +167,10 @@ class Workspace {
   std::vector<value_t> update_;
   std::vector<value_t> rhs_;
   std::vector<value_t> tail_;
+  std::vector<value_t> terms_;
+#ifndef NDEBUG
+  std::atomic<bool> borrowed_{false};
+#endif
 };
 
 /// Blocked multi-RHS solve over factored supernodal panels: `bx` holds nrhs

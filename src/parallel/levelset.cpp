@@ -61,13 +61,61 @@ LevelSchedule level_schedule_supernodes(const SupernodePartition& sn,
   return bucket_by_level(level);
 }
 
+UpdateSlotMap update_slots_columns(const CscMatrix& l,
+                                   std::span<const index_t> order) {
+  const index_t n = l.cols();
+  SYMPILER_CHECK(order.empty() || static_cast<index_t>(order.size()) == n,
+                 "update_slots_columns: order must cover every column");
+  UpdateSlotMap m;
+  m.slot.assign(static_cast<std::size_t>(l.nnz()), -1);
+  m.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t p = l.col_begin(j) + 1; p < l.col_end(j); ++p)
+      ++m.row_ptr[l.rowind[p] + 1];
+  for (index_t i = 0; i < n; ++i) m.row_ptr[i + 1] += m.row_ptr[i];
+  // Scanning columns in the serial iteration order fills each row's slot
+  // range in exactly the order the sequential solve subtracts its updates
+  // — the consumer's fold replays it verbatim.
+  std::vector<index_t> next(m.row_ptr.begin(), m.row_ptr.end() - 1);
+  for (index_t k = 0; k < n; ++k) {
+    const index_t j = order.empty() ? k : order[k];
+    for (index_t p = l.col_begin(j) + 1; p < l.col_end(j); ++p)
+      m.slot[p] = next[l.rowind[p]]++;
+  }
+  return m;
+}
+
+UpdateSlotMap update_slots_supernodes(const solvers::SupernodalLayout& layout) {
+  const index_t n = layout.n;
+  UpdateSlotMap m;
+  m.slot.assign(layout.srows.size(), -1);
+  m.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t s = 0; s < layout.nsuper(); ++s) {
+    const index_t w = layout.width(s);
+    for (index_t t = layout.srow_ptr[s] + w; t < layout.srow_ptr[s + 1]; ++t)
+      ++m.row_ptr[layout.srows[t] + 1];
+  }
+  for (index_t i = 0; i < n; ++i) m.row_ptr[i + 1] += m.row_ptr[i];
+  std::vector<index_t> next(m.row_ptr.begin(), m.row_ptr.end() - 1);
+  for (index_t s = 0; s < layout.nsuper(); ++s) {
+    const index_t w = layout.width(s);
+    for (index_t t = layout.srow_ptr[s] + w; t < layout.srow_ptr[s + 1]; ++t)
+      m.slot[t] = next[layout.srows[t]]++;
+  }
+  return m;
+}
+
 void parallel_trisolve(const CscMatrix& l, const LevelSchedule& schedule,
-                       std::span<value_t> x) {
-  const index_t* Li = l.rowind.data();
+                       const UpdateSlotMap& umap, std::span<value_t> x,
+                       std::span<value_t> terms) {
   const value_t* Lx = l.values.data();
+  const index_t* slot = umap.slot.data();
+  const index_t* rptr = umap.row_ptr.data();
   value_t* xp = x.data();
+  value_t* tp = terms.data();
   // One parallel region for the whole solve; each level is a static
-  // omp-for whose implicit barrier realizes the wavefront dependence.
+  // omp-for whose implicit barrier realizes the wavefront dependence (and
+  // publishes the level's slot writes to every later level).
 #ifdef SYMPILER_HAS_OPENMP
 #pragma omp parallel
 #endif
@@ -79,18 +127,88 @@ void parallel_trisolve(const CscMatrix& l, const LevelSchedule& schedule,
 #endif
     for (index_t t = lo; t < hi; ++t) {
       const index_t j = schedule.items[t];
+      // Fold the privatized incoming updates in ascending-column order —
+      // the exact subtraction sequence of the serial solve.
+      value_t xj = xp[j];
+      for (index_t q = rptr[j]; q < rptr[j + 1]; ++q) xj -= tp[q];
       const index_t p0 = l.col_begin(j);
-      const value_t xj = xp[j] / Lx[p0];
+      xj /= Lx[p0];
       xp[j] = xj;
-      for (index_t p = p0 + 1; p < l.col_end(j); ++p) {
-        // Two same-level columns can update the same later row; atomics
-        // make the concurrent -= safe.
+      // Scatter this column's updates into its plan-assigned private
+      // slots; no two columns share a slot, so no atomics are needed.
+      for (index_t p = p0 + 1; p < l.col_end(j); ++p)
+        tp[slot[p]] = Lx[p] * xj;
+    }
+  }
+}
+
+void parallel_trisolve_multi(const CscMatrix& l, const LevelSchedule& schedule,
+                             const UpdateSlotMap& umap, value_t* xp,
+                             index_t nrhs, index_t ldp, value_t* terms) {
+  const value_t* Lx = l.values.data();
+  const index_t* slot = umap.slot.data();
+  const index_t* rptr = umap.row_ptr.data();
 #ifdef SYMPILER_HAS_OPENMP
-#pragma omp atomic
+#pragma omp parallel
 #endif
-        xp[Li[p]] -= Lx[p] * xj;
+  for (index_t lev = 0; lev < schedule.levels(); ++lev) {
+    const index_t lo = schedule.level_ptr[lev];
+    const index_t hi = schedule.level_ptr[lev + 1];
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (index_t t = lo; t < hi; ++t) {
+      const index_t j = schedule.items[t];
+      value_t* xj = xp + static_cast<std::int64_t>(j) * ldp;
+      for (index_t q = rptr[j]; q < rptr[j + 1]; ++q) {
+        const value_t* tq = terms + static_cast<std::int64_t>(q) * ldp;
+        for (index_t r = 0; r < nrhs; ++r) xj[r] -= tq[r];
+      }
+      const index_t p0 = l.col_begin(j);
+      const value_t piv = Lx[p0];
+      for (index_t r = 0; r < nrhs; ++r) xj[r] /= piv;
+      for (index_t p = p0 + 1; p < l.col_end(j); ++p) {
+        const value_t lv = Lx[p];
+        value_t* tq = terms + static_cast<std::int64_t>(slot[p]) * ldp;
+        for (index_t r = 0; r < nrhs; ++r) tq[r] = lv * xj[r];
       }
     }
+  }
+}
+
+void parallel_trisolve(const CscMatrix& l, const core::TriSolvePlan& plan,
+                       std::span<value_t> x, core::Workspace& ws) {
+  SYMPILER_CHECK(plan.path == core::ExecutionPath::ParallelTriSolve,
+                 "parallel_trisolve: plan path is not ParallelTriSolve");
+  core::WorkspaceDims dims = plan.workspace;
+  dims.rhs_block = 0;  // single RHS: terms buffer only, no packed block
+  ws.ensure(dims);
+  parallel_trisolve(l, plan.schedule, plan.update_map, x, ws.terms());
+}
+
+void parallel_trisolve_batch(const CscMatrix& l, const core::TriSolvePlan& plan,
+                             std::span<value_t> xs, index_t nrhs,
+                             core::Workspace& ws) {
+  SYMPILER_CHECK(plan.path == core::ExecutionPath::ParallelTriSolve,
+                 "parallel_trisolve_batch: plan path is not ParallelTriSolve");
+  if (nrhs <= 0) return;
+  const index_t n = l.cols();
+  // Blocks sweep the level schedule sequentially (parallelism lives inside
+  // each level), so no lane narrowing applies.
+  const index_t bw =
+      core::rhs_block_width(plan.workspace.rhs_block, nrhs, /*lanes=*/1);
+  core::WorkspaceDims dims = plan.workspace;
+  dims.rhs_block = std::min(bw, nrhs);
+  ws.ensure(dims);
+  value_t* xp = ws.rhs_block();
+  value_t* terms = ws.terms().data();
+  for (index_t r0 = 0; r0 < nrhs; r0 += bw) {
+    const index_t nb = std::min(bw, nrhs - r0);
+    value_t* x0 = xs.data() + static_cast<std::size_t>(r0) * n;
+    blas::pack_rhs(n, nb, x0, n, xp, nb);
+    parallel_trisolve_multi(l, plan.schedule, plan.update_map, xp, nb, nb,
+                            terms);
+    blas::unpack_rhs(n, nb, xp, nb, x0, n);
   }
 }
 
@@ -161,18 +279,176 @@ void parallel_cholesky(const core::CholeskySets& sets,
   }
 }
 
-void parallel_trisolve(const CscMatrix& l, const core::TriSolvePlan& plan,
-                       std::span<value_t> x) {
-  SYMPILER_CHECK(plan.path == core::ExecutionPath::ParallelTriSolve,
-                 "parallel_trisolve: plan path is not ParallelTriSolve");
-  parallel_trisolve(l, plan.schedule, x);
-}
-
 void parallel_cholesky(const core::CholeskyPlan& plan,
                        const CscMatrix& a_lower, std::span<value_t> panels) {
   SYMPILER_CHECK(plan.path == core::ExecutionPath::ParallelSupernodal,
                  "parallel_cholesky: plan path is not ParallelSupernodal");
   parallel_cholesky(plan.sets, plan.schedule, a_lower, panels);
+}
+
+namespace {
+
+/// One grow-only per-thread tail workspace shared by the forward and
+/// backward sweeps (they never overlap, and sharing halves the pinned
+/// per-thread scratch).
+core::Workspace& panel_tls_workspace() {
+  static thread_local core::Workspace ws;
+  return ws;
+}
+
+/// Per-thread tail scratch dims of the level sweeps. `max_tail` comes
+/// from the plan (plan.workspace.max_tail) — no layout scan on the warm
+/// path.
+core::WorkspaceDims panel_tail_dims(index_t max_tail, index_t ldp) {
+  core::WorkspaceDims dims;
+  dims.max_tail = max_tail;
+  dims.rhs_block = ldp;
+  dims.need_map = false;
+  dims.need_dense = false;
+  return dims;
+}
+
+/// Forward level sweep over a packed RHS block: supernode s folds its own
+/// rows' incoming terms (ascending contributing supernode — the serial
+/// order), solves its diagonal block, and writes its below-diagonal tail
+/// contributions into its private slots instead of racing on x.
+void panel_forward_levels(const solvers::SupernodalLayout& layout,
+                          const LevelSchedule& schedule,
+                          const UpdateSlotMap& umap,
+                          std::span<const value_t> panels, value_t* xp,
+                          index_t nrhs, index_t ldp, value_t* terms,
+                          index_t max_tail) {
+  const index_t* slot = umap.slot.data();
+  const index_t* rptr = umap.row_ptr.data();
+  const core::WorkspaceDims tail_dims = panel_tail_dims(max_tail, ldp);
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp parallel
+#endif
+  {
+    core::Workspace& tls = panel_tls_workspace();
+    tls.ensure(tail_dims);
+    value_t* tail = tls.tail().data();
+    for (index_t lev = 0; lev < schedule.levels(); ++lev) {
+      const index_t lo = schedule.level_ptr[lev];
+      const index_t hi = schedule.level_ptr[lev + 1];
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp for schedule(static)
+#endif
+      for (index_t t = lo; t < hi; ++t) {
+        const index_t s = schedule.items[t];
+        const index_t c1 = layout.sn.start[s];
+        const index_t w = layout.width(s);
+        const index_t m = layout.nrows(s);
+        const value_t* panel = panels.data() + layout.panel_ptr[s];
+        for (index_t j = c1; j < c1 + w; ++j) {
+          value_t* xj = xp + static_cast<std::int64_t>(j) * ldp;
+          for (index_t q = rptr[j]; q < rptr[j + 1]; ++q) {
+            const value_t* tq = terms + static_cast<std::int64_t>(q) * ldp;
+            for (index_t r = 0; r < nrhs; ++r) xj[r] += tq[r];
+          }
+        }
+        blas::trsm_lower_multi(w, nrhs, panel, m,
+                               xp + static_cast<std::int64_t>(c1) * ldp, ldp);
+        if (m > w) {
+          std::fill(tail, tail + static_cast<std::int64_t>(m - w) * ldp, 0.0);
+          blas::gemm_minus_multi(m - w, w, nrhs, panel + w, m,
+                                 xp + static_cast<std::int64_t>(c1) * ldp, ldp,
+                                 tail, ldp);
+          for (index_t u = w; u < m; ++u) {
+            const value_t* src = tail + static_cast<std::int64_t>(u - w) * ldp;
+            value_t* dst =
+                terms +
+                static_cast<std::int64_t>(slot[layout.srow_ptr[s] + u]) * ldp;
+            for (index_t r = 0; r < nrhs; ++r) dst[r] = src[r];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Backward sweep over reversed levels. No privatization needed: each
+/// supernode writes only its own block rows and reads tail rows owned by
+/// ancestors, which live in strictly later levels and are already final.
+void panel_backward_levels(const solvers::SupernodalLayout& layout,
+                           const LevelSchedule& schedule,
+                           std::span<const value_t> panels, value_t* xp,
+                           index_t nrhs, index_t ldp, index_t max_tail) {
+  const core::WorkspaceDims tail_dims = panel_tail_dims(max_tail, ldp);
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp parallel
+#endif
+  {
+    core::Workspace& tls = panel_tls_workspace();
+    tls.ensure(tail_dims);
+    value_t* tail = tls.tail().data();
+    for (index_t lev = schedule.levels() - 1; lev >= 0; --lev) {
+      const index_t lo = schedule.level_ptr[lev];
+      const index_t hi = schedule.level_ptr[lev + 1];
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp for schedule(static)
+#endif
+      for (index_t t = lo; t < hi; ++t) {
+        const index_t s = schedule.items[t];
+        const index_t c1 = layout.sn.start[s];
+        const index_t w = layout.width(s);
+        const index_t m = layout.nrows(s);
+        const index_t* rows = layout.srows.data() + layout.srow_ptr[s];
+        const value_t* panel = panels.data() + layout.panel_ptr[s];
+        if (m > w) {
+          for (index_t u = w; u < m; ++u) {
+            const value_t* src =
+                xp + static_cast<std::int64_t>(rows[u]) * ldp;
+            value_t* dst = tail + static_cast<std::int64_t>(u - w) * ldp;
+            for (index_t r = 0; r < nrhs; ++r) dst[r] = src[r];
+          }
+          blas::gemm_trans_minus_multi(
+              m - w, w, nrhs, panel + w, m, tail, ldp,
+              xp + static_cast<std::int64_t>(c1) * ldp, ldp);
+        }
+        blas::trsm_lower_transpose_multi(
+            w, nrhs, panel, m, xp + static_cast<std::int64_t>(c1) * ldp, ldp);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void parallel_panel_solve_batch(const core::CholeskyPlan& plan,
+                                std::span<const value_t> panels,
+                                std::span<value_t> bx, index_t nrhs,
+                                core::Workspace& ws) {
+  SYMPILER_CHECK(plan.path == core::ExecutionPath::ParallelSupernodal,
+                 "parallel_panel_solve_batch: plan path is not "
+                 "ParallelSupernodal");
+  if (nrhs <= 0) return;
+  const solvers::SupernodalLayout& layout = plan.sets.layout;
+  const index_t n = layout.n;
+  const index_t bw =
+      core::rhs_block_width(plan.workspace.rhs_block, nrhs, /*lanes=*/1);
+  // The shared workspace carries only the packed block + terms; the
+  // per-thread tail scratch lives in the sweeps' thread_local workspaces.
+  core::WorkspaceDims dims = plan.workspace;
+  dims.rhs_block = std::min(bw, nrhs);
+  dims.max_panel_rows = 0;
+  dims.max_panel_width = 0;
+  dims.max_tail = 0;
+  dims.need_map = false;
+  dims.need_dense = false;
+  ws.ensure(dims);
+  value_t* xp = ws.rhs_block();
+  value_t* terms = ws.terms().data();
+  for (index_t r0 = 0; r0 < nrhs; r0 += bw) {
+    const index_t nb = std::min(bw, nrhs - r0);
+    value_t* x0 = bx.data() + static_cast<std::size_t>(r0) * n;
+    blas::pack_rhs(n, nb, x0, n, xp, nb);
+    panel_forward_levels(layout, plan.schedule, plan.solve_update_map, panels,
+                         xp, nb, nb, terms, plan.workspace.max_tail);
+    panel_backward_levels(layout, plan.schedule, panels, xp, nb, nb,
+                          plan.workspace.max_tail);
+    blas::unpack_rhs(n, nb, xp, nb, x0, n);
+  }
 }
 
 }  // namespace sympiler::parallel

@@ -6,8 +6,22 @@
 // within a level are independent and run in parallel (OpenMP when built
 // with SYMPILER_HAS_OPENMP, sequentially otherwise).
 //
-// The level schedule is part of a core::ExecutionPlan: the Planner builds
-// it once per pattern and the plan-driven overloads below interpret it.
+// Determinism. Two same-level items can update the same later row, which
+// a naive wavefront would resolve with atomics — making result bits vary
+// run to run and silently breaking the repo's bit-identity contract. The
+// executors here instead use level-private accumulation: the symbolic
+// phase assigns every cross-item update a private slot in a terms buffer
+// (UpdateSlotMap — the row-major transpose of the update pattern), each
+// producer writes its terms into its own slots with no synchronization,
+// and the consumer row folds its incoming terms in ascending-source
+// order when it is solved. That fold is exactly the serial subtraction
+// sequence, so the parallel solve is bit-identical to the sequential
+// executor and invariant to the thread count — by construction, not by
+// tolerance.
+//
+// The level schedule and slot map are part of a core::ExecutionPlan: the
+// Planner builds them once per pattern and the plan-driven overloads
+// below interpret them.
 #pragma once
 
 #include <cstdint>
@@ -21,7 +35,12 @@
 namespace sympiler::core {
 struct CholeskyPlan;   // core/execution_plan.h
 struct TriSolvePlan;
+class Workspace;       // core/workspace.h
 }  // namespace sympiler::core
+
+namespace sympiler::solvers {
+struct SupernodalLayout;  // solvers/supernodal.h
+}  // namespace sympiler::solvers
 
 namespace sympiler::parallel {
 
@@ -48,6 +67,46 @@ struct LevelSchedule {
   }
 };
 
+/// Privatized cross-item update map: the symbolic product that makes the
+/// level-set solves deterministic. Every off-diagonal update a source item
+/// (column, or supernode tail row) will produce gets a dedicated slot in a
+/// terms buffer; slots are grouped by target row and ordered by ascending
+/// source within each row, so the consumer's fold replays the serial
+/// update order exactly. Pattern-pure — built by the Planner, cached with
+/// the plan.
+struct UpdateSlotMap {
+  /// Source position -> slot id. For the column map, indexed by CSC
+  /// position p of L (diagonal positions hold -1); for the supernodal map,
+  /// indexed by global srows position (block-row positions hold -1).
+  std::vector<index_t> slot;
+  /// Incoming slots of row i are [row_ptr[i], row_ptr[i+1]), in ascending
+  /// source order. Size n + 1.
+  std::vector<index_t> row_ptr;
+
+  [[nodiscard]] index_t slots() const {
+    return row_ptr.empty() ? 0 : row_ptr.back();
+  }
+  [[nodiscard]] bool empty() const { return row_ptr.empty(); }
+  /// Heap bytes of the map arrays (plan-size accounting).
+  [[nodiscard]] std::size_t bytes() const {
+    return (slot.size() + row_ptr.size()) * sizeof(index_t);
+  }
+};
+
+/// Slot map of the column update pattern of L: one slot per strictly-lower
+/// nonzero. `order` is the column iteration order of the serial solve the
+/// parallel one must replay — the plan's reach sequence for the pruned
+/// executor, or empty for ascending column order (trisolve_naive). Rows
+/// fold their updaters in that order.
+[[nodiscard]] UpdateSlotMap update_slots_columns(
+    const CscMatrix& l, std::span<const index_t> order = {});
+
+/// Slot map of the supernodal forward-solve update pattern: one slot per
+/// below-diagonal panel row, target rows fold their contributing
+/// supernodes in ascending supernode order.
+[[nodiscard]] UpdateSlotMap update_slots_supernodes(
+    const solvers::SupernodalLayout& layout);
+
 /// Process-wide count of level schedules constructed so far. Regression
 /// instrumentation: a warm plan-cache hit must do zero schedule work, which
 /// tests assert by taking the counter's delta around a warm factor().
@@ -61,16 +120,37 @@ struct LevelSchedule {
 [[nodiscard]] LevelSchedule level_schedule_supernodes(
     const SupernodePartition& sn, std::span<const index_t> parent);
 
-/// Parallel full forward solve L x = b using a precomputed level schedule.
+/// Parallel full forward solve L x = b using a precomputed level schedule
+/// and slot map. `terms` is caller scratch of at least umap.slots()
+/// values. Bit-identical to the sequential pruned solve and deterministic
+/// across runs and thread counts (see the header comment).
 void parallel_trisolve(const CscMatrix& l, const LevelSchedule& schedule,
-                       std::span<value_t> x);
+                       const UpdateSlotMap& umap, std::span<value_t> x,
+                       std::span<value_t> terms);
 
-/// Plan-driven interpreter: runs the schedule carried by a trisolve plan
-/// whose path is ExecutionPath::ParallelTriSolve. Same-level columns
-/// update shared rows with atomics, so result bits can vary run to run
-/// (unlike every sequential path).
+/// Packed multi-RHS variant: X(i, r) at xp[r + i * ldp], nrhs <=
+/// blas::kRhsBlockMax, `terms` holds umap.slots() RHS-major rows of ldp
+/// values. Per RHS column the arithmetic is bit-identical to the
+/// single-RHS parallel_trisolve (and hence to the serial pruned solve).
+void parallel_trisolve_multi(const CscMatrix& l, const LevelSchedule& schedule,
+                             const UpdateSlotMap& umap, value_t* xp,
+                             index_t nrhs, index_t ldp, value_t* terms);
+
+/// Plan-driven interpreter: runs the schedule + slot map carried by a
+/// trisolve plan whose path is ExecutionPath::ParallelTriSolve. `ws` is
+/// the caller's plan-sized workspace (holds the shared terms buffer;
+/// grow-only, so a warm solve allocates nothing).
 void parallel_trisolve(const CscMatrix& l, const core::TriSolvePlan& plan,
-                       std::span<value_t> x);
+                       std::span<value_t> x, core::Workspace& ws);
+
+/// Plan-driven blocked multi-RHS level-set solve: `xs` holds nrhs
+/// column-major dense RHS of length n. RHS columns are tiled into packed
+/// blocks (core::rhs_block_width) and each block sweeps the level schedule
+/// once; per column the result is bit-identical to looped single-RHS
+/// solves. `ws` carries the packed block and terms buffers.
+void parallel_trisolve_batch(const CscMatrix& l, const core::TriSolvePlan& plan,
+                             std::span<value_t> xs, index_t nrhs,
+                             core::Workspace& ws);
 
 /// Parallel supernodal left-looking Cholesky using the static inspection
 /// sets plus a supernode level schedule. Writes the factor into `panels`
@@ -86,5 +166,18 @@ void parallel_cholesky(const core::CholeskySets& sets,
 /// be ExecutionPath::ParallelSupernodal).
 void parallel_cholesky(const core::CholeskyPlan& plan,
                        const CscMatrix& a_lower, std::span<value_t> panels);
+
+/// Plan-driven blocked multi-RHS solve over factored supernodal panels:
+/// packed RHS blocks sweep the plan's supernode level schedule — forward
+/// with slot-privatized tail updates, backward over reversed levels (which
+/// races on nothing: each supernode writes only its own block rows). Per
+/// RHS column, bit-identical to the sequential panel solves; parallel
+/// inside each level. `ws` is the caller's shared workspace (packed block
+/// + terms); per-thread tail scratch lives in grow-only thread_local
+/// workspaces.
+void parallel_panel_solve_batch(const core::CholeskyPlan& plan,
+                                std::span<const value_t> panels,
+                                std::span<value_t> bx, index_t nrhs,
+                                core::Workspace& ws);
 
 }  // namespace sympiler::parallel

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "api/solver.h"
+#include "core/workspace.h"
 #include "gen/generators.h"
 
 namespace {
@@ -124,6 +125,24 @@ TEST(ZeroAllocation, WarmTriangularSolveBatch) {
       << "warm triangular solve/solve_batch allocated";
 }
 
+#ifndef NDEBUG
+TEST(WorkspaceGuard, ConcurrentBorrowIsLoudInDebugBuilds) {
+  // The PR 3 breaking note — solve() borrows the owner's workspace and is
+  // not concurrency-safe on one instance — is now an assert-on-concurrent-
+  // entry guard, not a README footnote. A second borrow while one is live
+  // must throw (debug builds only; release builds compile the guard away).
+  core::Workspace ws;
+  const core::Workspace::Borrow first(ws);
+  EXPECT_THROW(core::Workspace::Borrow{ws}, invalid_matrix_error);
+}
+
+TEST(WorkspaceGuard, SequentialBorrowsAreFine) {
+  core::Workspace ws;
+  { const core::Workspace::Borrow one(ws); }
+  { const core::Workspace::Borrow two(ws); }  // released, re-borrowable
+}
+#endif
+
 #ifdef SYMPILER_HAS_OPENMP
 TEST(ZeroAllocation, WarmParallelFactorAndBatchSolve) {
   // The level-set parallel interpreter keeps one grow-only workspace per
@@ -135,6 +154,35 @@ TEST(ZeroAllocation, WarmParallelFactorAndBatchSolve) {
   config.parallel_min_supernodes = 1;
   config.parallel_min_avg_level_width = 0.0;
   check_zero_warm_allocations(gen::grid2d_laplacian(40, 40), config);
+}
+
+TEST(ZeroAllocation, WarmParallelTriangularSolveBatch) {
+  // Level-set parallel trisolve: the privatized terms buffer is pre-grown
+  // at construction and the packed batch block on the first solve_batch;
+  // warm parallel solves touch the heap not at all.
+  api::SolverConfig config;
+  config.enable_parallel = true;
+  config.parallel_min_avg_level_width = 0.0;
+  config.options.vsblock_min_avg_size = 1e9;  // pruned -> parallel trisolve
+  api::Solver chol(config, nullptr);
+  const CscMatrix a = gen::grid2d_laplacian(30, 30);
+  chol.factor(a);
+  const CscMatrix l = chol.factor_csc();
+  std::vector<index_t> beta(static_cast<std::size_t>(l.cols()));
+  for (index_t j = 0; j < l.cols(); ++j) beta[j] = j;
+  api::TriangularSolver tri(l, beta, config, nullptr);
+  ASSERT_EQ(tri.path(), api::ExecutionPath::ParallelTriSolve);
+  const auto n = static_cast<std::size_t>(l.cols());
+  const index_t nrhs = 40;
+  std::vector<value_t> xs = random_vec(n * static_cast<std::size_t>(nrhs), 5);
+  std::vector<value_t> x1 = random_vec(n, 6);
+  tri.solve(x1);
+  tri.solve_batch(xs, nrhs);  // grows the packed block + thread team once
+  const std::uint64_t during = allocations_in([&] {
+    tri.solve(x1);
+    tri.solve_batch(xs, nrhs);
+  });
+  EXPECT_EQ(during, 0u) << "warm parallel triangular solves allocated";
 }
 #endif
 

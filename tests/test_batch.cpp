@@ -1,11 +1,10 @@
 // Blocked multi-RHS solves: solve_batch(nrhs) must be bit-identical to
 // nrhs looped solve() calls on every execution path — the packed-block
 // kernels change data movement (panel reuse, unit-stride SIMD across RHS),
-// never any column's operation sequence.
-//
-// The one documented exception is the ParallelTriSolve path under OpenMP:
-// its atomic updates make even two plain solve() calls bit-unstable
-// against each other (levelset.h), so that path is compared numerically.
+// never any column's operation sequence. That includes the level-set
+// parallel paths: their level-private update slots replay the serial
+// update order (levelset.h), so even the OpenMP interpreters are
+// bit-stable and compared exactly here.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -123,8 +122,6 @@ void check_trisolve_batch(const CscMatrix& a, api::SolverConfig config,
   api::TriangularSolver tri(l, beta, config, nullptr);
   ASSERT_EQ(tri.path(), expected_path);
   const auto n = static_cast<std::size_t>(l.cols());
-  const bool bit_stable =
-      expected_path != api::ExecutionPath::ParallelTriSolve;
   for (const index_t nrhs : {1, 3, 32, 33, 64}) {
     const std::vector<value_t> base =
         random_vec(n * static_cast<std::size_t>(nrhs), 99 + nrhs);
@@ -135,13 +132,7 @@ void check_trisolve_batch(const CscMatrix& a, api::SolverConfig config,
                                              n));
     std::vector<value_t> batched = base;
     tri.solve_batch(batched, nrhs);
-    if (bit_stable) {
-      expect_bits_equal(looped, batched, api::to_string(expected_path));
-    } else {
-      for (std::size_t t = 0; t < looped.size(); ++t)
-        ASSERT_NEAR(looped[t], batched[t], 1e-9)
-            << "parallel trisolve at flat index " << t;
-    }
+    expect_bits_equal(looped, batched, api::to_string(expected_path));
   }
 }
 
@@ -160,7 +151,7 @@ TEST(TriSolveBatch, PrunedPathBitIdenticalToLoopedSolve) {
                        api::ExecutionPath::PrunedTriSolve);
 }
 
-TEST(TriSolveBatch, ParallelPathMatchesLoopedSolve) {
+TEST(TriSolveBatch, ParallelPathBitIdenticalToLoopedSolve) {
   api::SolverConfig config;
   config.enable_parallel = true;
   config.parallel_min_supernodes = 1;

@@ -8,6 +8,10 @@
 #include <memory>
 #include <vector>
 
+#ifdef SYMPILER_HAS_OPENMP
+#include <omp.h>
+#endif
+
 #include "api/solver.h"
 #include "core/cholesky_executor.h"
 #include "core/execution_plan.h"
@@ -271,6 +275,156 @@ TEST(ExecutionPlan, DenseRhsTriSolvePlanStaysCorrectOnEveryPath) {
     err = std::max(err, std::abs(row - b[static_cast<std::size_t>(j)]));
   }
   EXPECT_LT(err, 1e-8);
+}
+
+// ------------------------- parallel determinism (level-private updates)
+
+/// Lower-triangular factor with maximally racy levels: columns 0..n-3 are
+/// mutually independent (one wide level) and every one of them updates the
+/// two shared rows n-2 and n-1. Under the old atomic scheme the update
+/// order — and hence the result bits — depended on thread interleaving;
+/// the level-private slots must replay the serial order exactly.
+CscMatrix racy_arrowhead_lower(index_t n) {
+  std::vector<Triplet> trips;
+  for (index_t j = 0; j < n; ++j)
+    trips.push_back({j, j, 2.0 + 0.01 * static_cast<value_t>(j)});
+  for (index_t j = 0; j < n - 2; ++j) {
+    trips.push_back({n - 2, j, 0.5 / (1.0 + static_cast<value_t>(j))});
+    trips.push_back({n - 1, j, 0.25 / (2.0 + static_cast<value_t>(j))});
+  }
+  trips.push_back({n - 1, n - 2, 0.75});
+  return CscMatrix::from_triplets(n, n, trips);
+}
+
+std::shared_ptr<const TriSolvePlan> racy_parallel_plan(const CscMatrix& l) {
+  PlannerConfig config;
+  config.options.vsblock_min_avg_size = 1e9;  // keep VS-Block out of the way
+  config.enable_parallel = true;
+  config.parallel_min_supernodes = 1;
+  config.parallel_min_avg_level_width = 0.0;
+  std::vector<index_t> beta(static_cast<std::size_t>(l.cols()));
+  for (index_t i = 0; i < l.cols(); ++i) beta[static_cast<std::size_t>(i)] = i;
+  return std::make_shared<const TriSolvePlan>(
+      Planner(config).plan_trisolve(l, beta));
+}
+
+TEST(ParallelDeterminism, TrisolveBitIdenticalToSerialAtOneTwoFourThreads) {
+  const index_t n = 257;
+  const CscMatrix l = racy_arrowhead_lower(n);
+  const auto plan = racy_parallel_plan(l);
+  if (!Planner::parallel_enabled()) {
+    EXPECT_EQ(plan->path, ExecutionPath::PrunedTriSolve);
+    return;  // sequential builds never plan the parallel path
+  }
+  ASSERT_EQ(plan->path, ExecutionPath::ParallelTriSolve);
+  // The racy structure is really there: one level holds all n-2
+  // independent columns, each updating the shared rows n-2 and n-1.
+  ASSERT_GE(plan->schedule.levels(), 2);
+  EXPECT_EQ(plan->schedule.level_ptr[1] - plan->schedule.level_ptr[0], n - 2);
+  EXPECT_FALSE(plan->update_map.empty());
+
+  // Serial reference: the sequential pruned interpretation of the same
+  // plan (what solve() runs in non-OpenMP builds).
+  core::TriSolveExecutor serial(plan, l);
+  const std::vector<value_t> b = gen::dense_rhs(n, 33);
+  std::vector<value_t> x_ref(b);
+  serial.solve(x_ref);
+
+  core::Workspace ws;
+  for (const int threads : {1, 2, 4}) {
+#ifdef SYMPILER_HAS_OPENMP
+    omp_set_num_threads(threads);
+#endif
+    // Twice per thread count: run-to-run determinism at a fixed count,
+    // and bit identity with the serial solve across counts.
+    for (int run = 0; run < 2; ++run) {
+      std::vector<value_t> x(b);
+      parallel::parallel_trisolve(l, *plan, x, ws);
+      for (index_t i = 0; i < n; ++i)
+        ASSERT_EQ(x[static_cast<std::size_t>(i)],
+                  x_ref[static_cast<std::size_t>(i)])
+            << "threads=" << threads << " run=" << run << " row " << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, TrisolveBatchBitIdenticalToLoopedSerialAt4Threads) {
+  const index_t n = 181;
+  const CscMatrix l = racy_arrowhead_lower(n);
+  const auto plan = racy_parallel_plan(l);
+  if (!Planner::parallel_enabled()) return;
+  ASSERT_EQ(plan->path, ExecutionPath::ParallelTriSolve);
+#ifdef SYMPILER_HAS_OPENMP
+  omp_set_num_threads(4);
+#endif
+  core::TriSolveExecutor serial(plan, l);
+  core::Workspace ws;
+  for (const index_t nrhs : {1, 5, 40}) {
+    std::vector<value_t> base;
+    for (index_t r = 0; r < nrhs; ++r) {
+      const std::vector<value_t> col = gen::dense_rhs(n, 50 + r);
+      base.insert(base.end(), col.begin(), col.end());
+    }
+    std::vector<value_t> looped = base;
+    for (index_t r = 0; r < nrhs; ++r)
+      serial.solve(std::span<value_t>(looped).subspan(
+          static_cast<std::size_t>(r) * n, static_cast<std::size_t>(n)));
+    std::vector<value_t> batched = base;
+    parallel::parallel_trisolve_batch(l, *plan, batched, nrhs, ws);
+    for (std::size_t t = 0; t < looped.size(); ++t)
+      ASSERT_EQ(batched[t], looped[t]) << "nrhs=" << nrhs << " flat " << t;
+  }
+}
+
+TEST(ParallelDeterminism, CholeskyAndBatchSolveStableAcrossThreadCounts) {
+  // Level-set parallel Cholesky + the blocked level-set batch solve on a
+  // pattern whose sibling supernodes share ancestor rows. Every thread
+  // count must produce the same bits, twice.
+  const CscMatrix a = gen::grid2d_laplacian(40, 40);
+  api::SolverConfig cfg;
+  cfg.options.vsblock_min_avg_size = 0.0;
+  cfg.options.vsblock_min_avg_width = 0.0;
+  cfg.parallel_min_supernodes = 1;
+  cfg.parallel_min_avg_level_width = 0.0;
+  api::Solver solver(cfg, std::make_shared<api::SymbolicContext>());
+  if (!Planner::parallel_enabled()) return;
+
+  const auto n = static_cast<std::size_t>(a.cols());
+  const index_t nrhs = 7;
+  std::vector<value_t> base;
+  for (index_t r = 0; r < nrhs; ++r) {
+    const std::vector<value_t> col = gen::dense_rhs(a.cols(), 70 + r);
+    base.insert(base.end(), col.begin(), col.end());
+  }
+  CscMatrix l_ref;
+  std::vector<value_t> x_ref;
+  bool have_ref = false;
+  for (const int threads : {1, 2, 4}) {
+#ifdef SYMPILER_HAS_OPENMP
+    omp_set_num_threads(threads);
+#endif
+    for (int run = 0; run < 2; ++run) {
+      solver.factor(a);
+      ASSERT_EQ(solver.path(), ExecutionPath::ParallelSupernodal);
+      const CscMatrix l = solver.factor_csc();
+      std::vector<value_t> x = base;
+      solver.solve_batch(x, nrhs);
+      if (!have_ref) {
+        l_ref = l;
+        x_ref = x;
+        have_ref = true;
+        // Looped single solves must give the batch bits too.
+        std::vector<value_t> looped = base;
+        for (index_t r = 0; r < nrhs; ++r)
+          solver.solve(std::span<value_t>(looped).subspan(
+              static_cast<std::size_t>(r) * n, n));
+        ASSERT_EQ(looped, x_ref);
+        continue;
+      }
+      ASSERT_TRUE(l.equals(l_ref)) << "threads=" << threads << " run=" << run;
+      ASSERT_EQ(x, x_ref) << "threads=" << threads << " run=" << run;
+    }
+  }
 }
 
 // ------------------------------- shared-context zero-schedule regression
