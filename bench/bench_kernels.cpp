@@ -397,6 +397,46 @@ std::vector<ParTriRow> bench_parallel_trisolve(bool smoke) {
     rows.push_back({"level-private-multi", n, nrhs, batch_seconds,
                     serial_seconds / (batch_seconds / nrhs)});
   }
+
+  // Tiny-level regime: a narrow banded factor has an almost purely
+  // sequential schedule (thousands of levels of width ~1). These levels
+  // now skip the omp-for and run serially under `single` — this case
+  // tracks what the per-level chunking buys where it matters most.
+  {
+    const index_t bn = smoke ? 3000 : 12000;
+    const CscMatrix ab = gen::banded_spd(bn, 8, 11);
+    api::Solver bchol(chol_config, nullptr);
+    bchol.factor(ab);
+    const CscMatrix lb = bchol.factor_csc();
+    std::vector<index_t> bbeta(static_cast<std::size_t>(lb.cols()));
+    for (index_t j = 0; j < lb.cols(); ++j)
+      bbeta[static_cast<std::size_t>(j)] = j;
+    auto bplan = std::make_shared<const core::TriSolvePlan>(
+        core::Planner(pc).plan_trisolve(lb, bbeta, nullptr,
+                                        /*with_key=*/false));
+    if (bplan->path == core::ExecutionPath::ParallelTriSolve) {
+      const std::vector<value_t> bb =
+          random_vec(static_cast<std::size_t>(lb.cols()));
+      std::vector<value_t> bx(bb.size());
+      core::TriSolveExecutor bserial(bplan, lb);
+      const double bserial_seconds = bench::median_seconds(
+          [&] {
+            std::memcpy(bx.data(), bb.data(), bx.size() * sizeof(value_t));
+            bserial.solve(bx);
+          },
+          reps);
+      rows.push_back({"serial-pruned (banded)", lb.cols(), 1, bserial_seconds,
+                      1.0});
+      const double btiny_seconds = bench::median_seconds(
+          [&] {
+            std::memcpy(bx.data(), bb.data(), bx.size() * sizeof(value_t));
+            parallel::parallel_trisolve(lb, *bplan, bx, ws);
+          },
+          reps);
+      rows.push_back({"level-private (banded, tiny levels)", lb.cols(), 1,
+                      btiny_seconds, bserial_seconds / btiny_seconds});
+    }
+  }
   return rows;
 }
 

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -43,6 +44,9 @@ struct ProblemRow {
   double sym_cold = 0.0;
   double sym_warm = 0.0;
   double numeric = 0.0;
+  /// Per-phase cold breakdown recorded by the Planner in the plan's
+  /// evidence (etree/counts/pattern/schedule/slotmap seconds).
+  core::PlanPhaseTimes phases;
 };
 
 struct ContentionRow {
@@ -92,9 +96,9 @@ double lookup_throughput(core::CholeskyCache& cache,
   return static_cast<double>(threads) * iters / seconds / 1e6;
 }
 
-std::vector<ContentionRow> run_contention() {
+std::vector<ContentionRow> run_contention(bool smoke) {
   constexpr int kPatterns = 64;
-  constexpr int kIters = 200000;
+  const int kIters = smoke ? 20000 : 200000;
   core::CholeskyCache sharded;  // default geometry: mutex-striped shards
   core::CholeskyCache single(core::CholeskyCache::kDefaultByteBudget,
                              /*shards=*/1);  // the PR-1 single-mutex shape
@@ -155,9 +159,15 @@ void write_json(const std::vector<ProblemRow>& problems,
     const ProblemRow& p = problems[i];
     std::fprintf(f,
                  "    {\"id\": %d, \"name\": \"%s\", \"sym_cold_s\": %.6e, "
-                 "\"sym_warm_s\": %.6e, \"numeric_s\": %.6e}%s\n",
+                 "\"sym_warm_s\": %.6e, \"numeric_s\": %.6e,\n"
+                 "     \"phases\": {\"transpose_s\": %.6e, \"etree_s\": %.6e, "
+                 "\"counts_s\": %.6e, \"pattern_s\": %.6e, "
+                 "\"assemble_s\": %.6e, \"schedule_s\": %.6e, "
+                 "\"slotmap_s\": %.6e}}%s\n",
                  p.id, p.name.c_str(), p.sym_cold, p.sym_warm, p.numeric,
-                 i + 1 < problems.size() ? "," : "");
+                 p.phases.transpose, p.phases.etree, p.phases.counts,
+                 p.phases.pattern, p.phases.assemble, p.phases.schedule,
+                 p.phases.slotmap, i + 1 < problems.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
@@ -177,8 +187,14 @@ void write_json(const std::vector<ProblemRow>& problems,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+
   std::printf("Symbolic cache reuse: warm-pattern solves drop the inspector\n");
+  if (smoke)
+    std::printf("(--smoke: first 3 suite problems, reduced contention)\n");
   bench::print_rule(118);
   std::printf("%2s %-14s | %12s %12s %10s | %12s %12s | %s\n", "id", "name",
               "sym-cold(s)", "sym-warm(s)", "cold/warm", "numeric(s)",
@@ -188,6 +204,7 @@ int main() {
   std::vector<double> amortized;
   std::vector<ProblemRow> rows;
   for (const auto& spec : gen::suite()) {
+    if (smoke && spec.id > 3) break;
     const CscMatrix a = spec.make();
     auto context = std::make_shared<api::SymbolicContext>();
 
@@ -238,8 +255,8 @@ int main() {
     std::fflush(stdout);
     if (sym_cold > 0.0 && sym_warm >= 0.0 && t_numeric > 0.0)
       amortized.push_back(sym_warm / t_numeric);
-    rows.push_back(
-        {spec.id, spec.paper_name, sym_cold, sym_warm, t_numeric});
+    rows.push_back({spec.id, spec.paper_name, sym_cold, sym_warm, t_numeric,
+                    cold.plan()->evidence.phases});
   }
   bench::print_rule(118);
   std::printf(
@@ -247,7 +264,24 @@ int main() {
       "(cold planning is eliminated on every repeat).\n",
       geomean(amortized) * 100.0);
 
-  const std::vector<ContentionRow> contention = run_contention();
+  // Per-phase cold breakdown (the Planner stamps these into the plan's
+  // evidence): where the near-linear pipeline actually spends its time.
+  std::printf("\nCold planning phase breakdown (ms)\n");
+  bench::print_rule(100);
+  std::printf("%2s %-14s | %9s %8s %8s %9s %9s %9s %8s\n", "id", "name",
+              "transpose", "etree", "counts", "pattern", "assemble",
+              "schedule", "slotmap");
+  bench::print_rule(100);
+  for (const ProblemRow& p : rows) {
+    const core::PlanPhaseTimes& t = p.phases;
+    std::printf("%2d %-14s | %9.2f %8.2f %8.2f %9.2f %9.2f %9.2f %8.2f\n",
+                p.id, p.name.c_str(), t.transpose * 1e3, t.etree * 1e3,
+                t.counts * 1e3, t.pattern * 1e3, t.assemble * 1e3,
+                t.schedule * 1e3, t.slotmap * 1e3);
+  }
+  bench::print_rule(100);
+
+  const std::vector<ContentionRow> contention = run_contention(smoke);
   write_json(rows, contention);
   return 0;
 }

@@ -52,6 +52,9 @@ struct PlanEvidence {
   double avg_level_width = 0.0;       ///< items per level
   double build_seconds = 0.0;         ///< wall time spent planning (cost to
                                       ///< recompute; weighs eviction)
+  /// Per-phase cold-planning breakdown (etree / counts / pattern /
+  /// schedule / slotmap seconds — the cache_reuse bench emits these).
+  PlanPhaseTimes phases;
 };
 
 /// Plan for sparse Cholesky A = L L^T over one sparsity pattern.

@@ -1,9 +1,17 @@
 #include "core/inspector.h"
 
 #include <algorithm>
+#include <exception>
 
+#ifdef SYMPILER_HAS_OPENMP
+#include <omp.h>
+#endif
+
+#include "graph/etree.h"
 #include "graph/reach.h"
 #include "solvers/trisolve.h"
+#include "sparse/ops.h"
+#include "util/timer.h"
 
 namespace sympiler::core {
 
@@ -47,33 +55,91 @@ double participating_avg_width(const SupernodePartition& sn) {
 
 }  // namespace
 
+namespace {
+
+/// Run the given product builders concurrently (OpenMP sections when
+/// available, serially otherwise). Exceptions thrown inside a section are
+/// captured and the first one rethrown after the join — a worksharing
+/// construct must not leak.
+template <typename F1, typename F2, typename F3>
+void run_parallel_products(F1&& f1, F2&& f2, F3&& f3) {
+#ifdef SYMPILER_HAS_OPENMP
+  std::exception_ptr errors[3] = {nullptr, nullptr, nullptr};
+#pragma omp parallel sections
+  {
+#pragma omp section
+    {
+      try {
+        f1();
+      } catch (...) {
+        errors[0] = std::current_exception();
+      }
+    }
+#pragma omp section
+    {
+      try {
+        f2();
+      } catch (...) {
+        errors[1] = std::current_exception();
+      }
+    }
+#pragma omp section
+    {
+      try {
+        f3();
+      } catch (...) {
+        errors[2] = std::current_exception();
+      }
+    }
+  }
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+#else
+  f1();
+  f2();
+  f3();
+#endif
+}
+
+}  // namespace
+
 TriSolveSets inspect_trisolve(const CscMatrix& l,
                               std::span<const index_t> beta,
                               const SympilerOptions& opt,
                               const SupernodePartition* known_blocks) {
   SYMPILER_CHECK(l.rows() == l.cols(), "inspect_trisolve: L not square");
-  TriSolveSets sets;
-
-  // VI-Prune inspection: DFS over DG_L (Table 1 row 1).
-  sets.reach = reach(l, beta);
-
-  // Column counts (peel decisions and thresholds).
-  const index_t n = l.cols();
-  sets.colcount.resize(static_cast<std::size_t>(n));
-  for (index_t j = 0; j < n; ++j)
-    sets.colcount[j] = l.col_end(j) - l.col_begin(j);
-
-  // VS-Block inspection: node equivalence on DG_L (Table 1 row 2), unless
-  // the factorization inspector already produced the block-set.
-  if (known_blocks != nullptr) {
-    SYMPILER_CHECK(known_blocks->valid(n),
+  if (known_blocks != nullptr)
+    SYMPILER_CHECK(known_blocks->valid(l.cols()),
                    "inspect_trisolve: invalid known block-set");
-    sets.blocks = *known_blocks;
-  } else {
-    SupernodeOptions sn_opt;
-    sn_opt.max_width = opt.max_supernode_width;
-    sets.blocks = supernodes_node_equivalence(l, sn_opt);
-  }
+  TriSolveSets sets;
+  const index_t n = l.cols();
+
+  // The three inspection products below are independent pattern reads;
+  // run them concurrently (each is deterministic, so the result is the
+  // same on every build and thread count).
+  run_parallel_products(
+      [&] {
+        // VI-Prune inspection: DFS over DG_L (Table 1 row 1).
+        sets.reach = reach(l, beta);
+      },
+      [&] {
+        // Column counts (peel decisions and thresholds).
+        sets.colcount.resize(static_cast<std::size_t>(n));
+        for (index_t j = 0; j < n; ++j)
+          sets.colcount[j] = l.col_end(j) - l.col_begin(j);
+      },
+      [&] {
+        // VS-Block inspection: node equivalence on DG_L (Table 1 row 2),
+        // unless the factorization inspector already produced the
+        // block-set.
+        if (known_blocks != nullptr) {
+          sets.blocks = *known_blocks;
+        } else {
+          SupernodeOptions sn_opt;
+          sn_opt.max_width = opt.max_supernode_width;
+          sets.blocks = supernodes_node_equivalence(l, sn_opt);
+        }
+      });
   sets.avg_supernode_size =
       participating_avg_rows(sets.blocks, sets.colcount);
   sets.vs_block_profitable =
@@ -110,37 +176,51 @@ TriSolveSets inspect_trisolve_dense_rhs(const CscMatrix& l,
 
 CholeskySets inspect_cholesky(const CscMatrix& a_lower,
                               const SympilerOptions& opt) {
+  CholeskyPlanProducts products;  // no schedule requested: stays empty
+  return inspect_cholesky_planned(a_lower, opt, CholeskyPlanRequest{},
+                                  products);
+}
+
+CholeskySets inspect_cholesky_planned(const CscMatrix& a_lower,
+                                      const SympilerOptions& opt,
+                                      const CholeskyPlanRequest& req,
+                                      CholeskyPlanProducts& products,
+                                      PlanPhaseTimes* phases) {
+  PlanPhaseTimes local_phases;
+  PlanPhaseTimes& ph = phases != nullptr ? *phases : local_phases;
   CholeskySets sets;
-  sets.sym = symbolic_cholesky(a_lower);
   const index_t n = a_lower.cols();
 
-  // Block-set: fundamental supernodes from etree + colcounts.
+  // --- symbolic factorization: etree, column counts -----------------------
+  CscMatrix upper;  // the one shared transpose (fast pipeline only)
+  if (req.naive) {
+    Timer t;
+    sets.sym = symbolic_cholesky_naive(a_lower);
+    ph.pattern = t.seconds();  // undifferentiated two-pass reference
+  } else {
+    SYMPILER_CHECK(a_lower.rows() == n, "inspect_cholesky: not square");
+    SYMPILER_CHECK(a_lower.is_lower_triangular(),
+                   "inspect_cholesky: input must be the lower triangle");
+    Timer t_tr;
+    upper = transpose(a_lower);
+    ph.transpose = t_tr.seconds();
+    Timer t_et;
+    sets.sym.parent = elimination_tree_from_upper(upper);
+    ph.etree = t_et.seconds();
+    Timer t_cc;
+    const std::vector<index_t> post = postorder(sets.sym.parent);
+    sets.sym.colcount = cholesky_counts(a_lower, sets.sym.parent, post);
+    ph.counts = t_cc.seconds();
+  }
+
+  // --- block-set + profitability (cheap: colcount + etree reads) ----------
+  // Deciding the path here, before the pattern fill, is what lets the
+  // gated pipeline skip products the path never reads.
   SupernodeOptions sn_opt;
   sn_opt.max_width = opt.max_supernode_width;
   sn_opt.relax = opt.relax_supernodes;
   sn_opt.relax_ratio = opt.relax_ratio;
   sets.blocks = supernodes_cholesky(sets.sym.parent, sets.sym.colcount, sn_opt);
-  sets.layout = solvers::SupernodalLayout::build(sets.sym, sets.blocks);
-  sets.updates = solvers::compute_update_lists(sets.layout);
-
-  // Simplicial prune-sets: the row pattern of L row-by-row. The pattern of
-  // L is already available, so the row patterns are a transpose walk: row
-  // pattern of i = columns j < i with L(i,j) != 0.
-  sets.rowpat_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
-  const CscMatrix& lp = sets.sym.l_pattern;
-  for (index_t j = 0; j < n; ++j)
-    for (index_t p = lp.col_begin(j) + 1; p < lp.col_end(j); ++p)
-      ++sets.rowpat_ptr[lp.rowind[p] + 1];
-  for (index_t i = 0; i < n; ++i) sets.rowpat_ptr[i + 1] += sets.rowpat_ptr[i];
-  sets.rowpat.resize(static_cast<std::size_t>(sets.rowpat_ptr[n]));
-  {
-    std::vector<index_t> next(sets.rowpat_ptr.begin(),
-                              sets.rowpat_ptr.end() - 1);
-    for (index_t j = 0; j < n; ++j)
-      for (index_t p = lp.col_begin(j) + 1; p < lp.col_end(j); ++p)
-        sets.rowpat[next[lp.rowind[p]]++] = j;
-  }
-
   sets.avg_supernode_size =
       participating_avg_rows(sets.blocks, sets.sym.colcount);
   double cc = 0.0;
@@ -149,6 +229,143 @@ CholeskySets inspect_cholesky(const CscMatrix& a_lower,
   sets.vs_block_profitable =
       opt.vs_block && sets.avg_supernode_size >= opt.vsblock_min_avg_size &&
       participating_avg_width(sets.blocks) >= opt.vsblock_min_avg_width;
+
+  // Which product families the chosen path consumes. Ungated requests
+  // build both (the inspect_cholesky contract).
+  const bool want_simplicial = !req.gate_products || !sets.vs_block_profitable;
+  const bool want_supernodal = !req.gate_products || sets.vs_block_profitable;
+
+  // --- pattern of L: one fused sweep into exact-presized arrays -----------
+  std::vector<index_t> row_offdiag;  // rowpat histogram, free from the sweep
+  if (!req.naive) {
+    Timer t_pat;
+    sets.sym.l_pattern = cholesky_fill_pattern(
+        upper, sets.sym.parent, sets.sym.colcount,
+        /*with_values=*/want_simplicial,
+        want_simplicial ? &row_offdiag : nullptr);
+    sets.sym.fill_nnz = sets.sym.l_pattern.colptr[n];
+    for (index_t j = 0; j < n; ++j) {
+      const double c = sets.sym.colcount[j];
+      sets.sym.flops += c * c;
+    }
+    ph.pattern += t_pat.seconds();
+  } else if (!want_simplicial) {
+    // Match the gated fast plan bit for bit: supernodal plans carry no
+    // |L|-sized zero value array.
+    sets.sym.l_pattern.values = {};
+  }
+
+  // --- assembly: independent products over the shared symbolic factor ----
+  // rowpat (simplicial prune-sets), layout -> updates (supernodal), and
+  // schedule -> slot map (parallel gates) have no cross-dependencies
+  // beyond layout, so they run as tasks; every product is a deterministic
+  // pattern function, so the assembly is bit-reproducible regardless of
+  // which thread builds what.
+  Timer t_asm;
+  const auto build_rowpat = [&] {
+    // Simplicial prune-sets: the row pattern of L row-by-row — a
+    // transpose walk of the pattern (row pattern of i = columns j < i
+    // with L(i,j) != 0, ascending). The counting pass comes free from
+    // the fused sweep when available.
+    sets.rowpat_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+    const CscMatrix& lp = sets.sym.l_pattern;
+    if (!row_offdiag.empty()) {
+      for (index_t i = 0; i < n; ++i)
+        sets.rowpat_ptr[i + 1] = sets.rowpat_ptr[i] + row_offdiag[i];
+    } else {
+      for (index_t j = 0; j < n; ++j)
+        for (index_t p = lp.col_begin(j) + 1; p < lp.col_end(j); ++p)
+          ++sets.rowpat_ptr[lp.rowind[p] + 1];
+      for (index_t i = 0; i < n; ++i)
+        sets.rowpat_ptr[i + 1] += sets.rowpat_ptr[i];
+    }
+    sets.rowpat.resize(static_cast<std::size_t>(sets.rowpat_ptr[n]));
+    std::vector<index_t> next(sets.rowpat_ptr.begin(),
+                              sets.rowpat_ptr.end() - 1);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t p = lp.col_begin(j) + 1; p < lp.col_end(j); ++p)
+        sets.rowpat[next[lp.rowind[p]]++] = j;
+  };
+  const auto build_layout = [&] {
+    sets.layout = solvers::SupernodalLayout::build(sets.sym, sets.blocks);
+  };
+  const auto build_updates = [&] {
+    sets.updates = solvers::compute_update_lists(sets.layout);
+  };
+  const auto build_schedule = [&] {
+    // Gates mirror the historical planner: enough supernodes to schedule,
+    // then wide enough average levels to commit to the parallel path.
+    if (!req.build_schedule ||
+        sets.blocks.count() < req.parallel_min_supernodes)
+      return;
+    Timer t_sched;
+    products.schedule =
+        parallel::level_schedule_supernodes(sets.blocks, sets.sym.parent);
+    ph.schedule = t_sched.seconds();
+    products.scheduled = true;
+    if (products.schedule.avg_level_width() >=
+        req.parallel_min_avg_level_width) {
+      Timer t_slot;
+      products.solve_update_map =
+          parallel::update_slots_supernodes(sets.layout);
+      ph.slotmap = t_slot.seconds();
+      products.committed = true;
+    }
+  };
+
+#ifdef SYMPILER_HAS_OPENMP
+  if (!req.naive) {
+    std::exception_ptr errors[3] = {nullptr, nullptr, nullptr};
+#pragma omp parallel
+#pragma omp single
+    {
+      if (want_simplicial) {
+#pragma omp task shared(sets, row_offdiag, errors)
+        {
+          try {
+            build_rowpat();
+          } catch (...) {
+            errors[0] = std::current_exception();
+          }
+        }
+      }
+      if (want_supernodal) {
+        try {
+          build_layout();  // critical path: updates + slot map read it
+#pragma omp task shared(sets, errors)
+          {
+            try {
+              build_updates();
+            } catch (...) {
+              errors[1] = std::current_exception();
+            }
+          }
+          build_schedule();
+        } catch (...) {
+          errors[2] = std::current_exception();
+        }
+      }
+    }  // implicit barrier: all tasks complete
+    for (const std::exception_ptr& e : errors)
+      if (e) std::rethrow_exception(e);
+  } else {
+    // Reference pipeline: strictly serial, fixed order.
+    if (want_simplicial) build_rowpat();
+    if (want_supernodal) {
+      build_layout();
+      build_updates();
+      build_schedule();
+    }
+  }
+#else
+  if (want_simplicial) build_rowpat();
+  if (want_supernodal) {
+    build_layout();
+    build_updates();
+    build_schedule();
+  }
+#endif
+  ph.assemble = t_asm.seconds();
   return sets;
 }
 

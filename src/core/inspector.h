@@ -21,11 +21,28 @@
 #include "core/options.h"
 #include "graph/supernodes.h"
 #include "graph/symbolic.h"
+#include "parallel/schedule.h"
 #include "solvers/supernodal.h"
 #include "sparse/csc.h"
 #include "util/common.h"
 
 namespace sympiler::core {
+
+/// Wall seconds of each cold-planning phase, recorded in PlanEvidence and
+/// emitted by bench/cache_reuse as the per-phase cold breakdown. Phases
+/// built inside the parallel assembly region (updates, rowpat) are folded
+/// into `assemble`, which is the region's wall time — under OpenMP the
+/// named phases can overlap it, so the parts need not sum to
+/// build_seconds.
+struct PlanPhaseTimes {
+  double transpose = 0.0;  ///< the one shared transpose(A)
+  double etree = 0.0;      ///< elimination tree (Liu, from the upper view)
+  double counts = 0.0;     ///< postorder + GNP skeleton column counts
+  double pattern = 0.0;    ///< fused single-sweep pattern fill
+  double assemble = 0.0;   ///< layout/updates/rowpat region wall time
+  double schedule = 0.0;   ///< supernode level schedule (parallel gate)
+  double slotmap = 0.0;    ///< privatized update-slot map (parallel gate)
+};
 
 /// Inspection sets for sparse triangular solve L x = b.
 struct TriSolveSets {
@@ -97,7 +114,50 @@ struct CholeskySets {
 };
 
 /// Run the Cholesky inspector on the pattern of A (lower triangle).
+/// Builds every inspection set (pattern with values, rowpat, layout,
+/// updates) — the ungated contract direct callers (executor convenience
+/// constructors, tests) rely on. The Planner goes through
+/// inspect_cholesky_planned instead.
 [[nodiscard]] CholeskySets inspect_cholesky(const CscMatrix& a_lower,
                                             const SympilerOptions& opt = {});
+
+/// What plan_cholesky asks the inspector for beyond the plain sets.
+struct CholeskyPlanRequest {
+  /// Build only the sets the profitability-chosen path will consume:
+  /// simplicial plans get rowpat + L values and skip layout/updates;
+  /// supernodal plans get layout/updates and skip rowpat + the |L|-sized
+  /// zero value array. The gate decision (colcount + block-set) is made
+  /// before the pattern fill, so skipped products cost nothing.
+  bool gate_products = false;
+  /// Build the supernode level schedule — and, if the width gate passes,
+  /// the forward-solve slot map — inside the same assembly region.
+  bool build_schedule = false;
+  index_t parallel_min_supernodes = 0;
+  double parallel_min_avg_level_width = 0.0;
+  /// Use the retained naive reference pipeline: symbolic_cholesky_naive
+  /// plus strictly serial assembly. The equivalence tests pin the fast
+  /// path bit-identical to this.
+  bool naive = false;
+};
+
+/// Schedule products of a planned inspection (meaningful only when the
+/// request set build_schedule).
+struct CholeskyPlanProducts {
+  bool scheduled = false;  ///< supernode-count gate passed; schedule built
+  bool committed = false;  ///< level-width gate passed; slot map built
+  parallel::LevelSchedule schedule;
+  parallel::UpdateSlotMap solve_update_map;
+};
+
+/// Planner entry point: the near-linear cold pipeline. One shared
+/// transpose(A) threads through the etree, the GNP column counts, and the
+/// fused pattern sweep; the independent assembly products (rowpat,
+/// layout -> updates, schedule -> slot map) run as OpenMP tasks over the
+/// shared symbolic factor. Product content is identical to the serial
+/// naive pipeline on every build — only wall time differs.
+[[nodiscard]] CholeskySets inspect_cholesky_planned(
+    const CscMatrix& a_lower, const SympilerOptions& opt,
+    const CholeskyPlanRequest& req, CholeskyPlanProducts& products,
+    PlanPhaseTimes* phases = nullptr);
 
 }  // namespace sympiler::core

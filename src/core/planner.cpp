@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "sparse/ops.h"
 #include "util/timer.h"
 
 namespace sympiler::core {
@@ -43,6 +44,14 @@ std::string summarize(const char* kind, const PatternKey& key,
   os << "\n  plan bytes: " << bytes
      << ", executor workspace bytes: " << workspace_bytes
      << ", planning time: " << ev.build_seconds * 1e3 << " ms";
+  const PlanPhaseTimes& t = ev.phases;
+  if (t.transpose + t.etree + t.counts + t.pattern + t.assemble > 0.0) {
+    os << "\n  cold phases (ms): transpose " << t.transpose * 1e3
+       << ", etree " << t.etree * 1e3 << ", counts " << t.counts * 1e3
+       << ", pattern " << t.pattern * 1e3 << ", assemble " << t.assemble * 1e3
+       << ", schedule " << t.schedule * 1e3 << ", slotmap "
+       << t.slotmap * 1e3;
+  }
   return os.str();
 }
 
@@ -95,11 +104,36 @@ PatternKey Planner::trisolve_key(const CscMatrix& l,
 
 CholeskyPlan Planner::plan_cholesky(const CscMatrix& a_lower,
                                     bool with_key) const {
+  return plan_cholesky_impl(a_lower, with_key, /*naive=*/false);
+}
+
+CholeskyPlan Planner::plan_cholesky_naive(const CscMatrix& a_lower,
+                                          bool with_key) const {
+  return plan_cholesky_impl(a_lower, with_key, /*naive=*/true);
+}
+
+CholeskyPlan Planner::plan_cholesky_impl(const CscMatrix& a_lower,
+                                         bool with_key, bool naive) const {
   Timer timer;
   CholeskyPlan plan;
   if (with_key) plan.key = cholesky_key(a_lower);
   plan.options = config_.options;
-  plan.sets = inspect_cholesky(a_lower, config_.options);
+
+  // The inspector runs the whole cold pipeline: one shared transpose, GNP
+  // counts, the fused pattern sweep, and the parallel assembly of the
+  // path-gated products — including the level schedule + slot map when
+  // the parallel gates are open (the schedule is cheap relative to
+  // inspection; building it at plan time makes every warm factor()
+  // schedule-free, across all Solvers sharing a cache).
+  CholeskyPlanRequest req;
+  req.gate_products = true;
+  req.build_schedule = parallel_enabled() && config_.enable_parallel;
+  req.parallel_min_supernodes = config_.parallel_min_supernodes;
+  req.parallel_min_avg_level_width = config_.parallel_min_avg_level_width;
+  req.naive = naive;
+  CholeskyPlanProducts products;
+  plan.sets = inspect_cholesky_planned(a_lower, config_.options, req,
+                                       products, &plan.evidence.phases);
 
   PlanEvidence& ev = plan.evidence;
   ev.vs_block_profitable = plan.sets.vs_block_profitable;
@@ -116,24 +150,17 @@ CholeskyPlan Planner::plan_cholesky(const CscMatrix& a_lower,
     plan.workspace = cholesky_workspace_dims(plan.sets.layout);
     plan.workspace.need_dense = false;  // dense column is simplicial-only
     plan.path = ExecutionPath::Supernodal;
-    if (parallel_enabled() && config_.enable_parallel &&
-        plan.sets.layout.nsuper() >= config_.parallel_min_supernodes) {
-      // The schedule is cheap relative to inspection (one pass over the
-      // supernodal forest); building it here makes every warm factor()
-      // schedule-free, across all Solvers sharing a cache.
+    if (products.scheduled) {
       ev.parallel_considered = true;
-      parallel::LevelSchedule schedule = parallel::level_schedule_supernodes(
-          plan.sets.blocks, plan.sets.sym.parent);
-      ev.levels = schedule.levels();
-      ev.avg_level_width = schedule.avg_level_width();
-      if (ev.avg_level_width >= config_.parallel_min_avg_level_width) {
+      ev.levels = products.schedule.levels();
+      ev.avg_level_width = products.schedule.avg_level_width();
+      if (products.committed) {
         plan.path = ExecutionPath::ParallelSupernodal;
-        plan.schedule = std::move(schedule);
+        plan.schedule = std::move(products.schedule);
         // Slot map of the forward panel solve: privatizes the tail
         // updates so the level-set batch solve needs no atomics and is
         // bit-identical to the serial panel solves (levelset.h).
-        plan.solve_update_map =
-            parallel::update_slots_supernodes(plan.sets.layout);
+        plan.solve_update_map = std::move(products.solve_update_map);
         plan.workspace.update_slots = plan.solve_update_map.slots();
       }
     }
@@ -141,6 +168,8 @@ CholeskyPlan Planner::plan_cholesky(const CscMatrix& a_lower,
   ev.build_seconds = timer.seconds();
   return plan;
 }
+
+std::uint64_t planner_transpose_count() { return transpose_count(); }
 
 TriSolvePlan Planner::plan_trisolve(const CscMatrix& l,
                                     std::span<const index_t> beta,

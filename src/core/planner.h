@@ -55,6 +55,14 @@ class Planner {
   [[nodiscard]] CholeskyPlan plan_cholesky(const CscMatrix& a_lower,
                                            bool with_key = true) const;
 
+  /// Reference cold planning: the retained naive symbolic pipeline
+  /// (count-by-materializing-every-ereach, per-row sorts, private
+  /// transposes) with strictly serial assembly. Product-for-product
+  /// bit-identical to plan_cholesky by contract — the equivalence tests
+  /// pin that — and the bench baseline the fast path is measured against.
+  [[nodiscard]] CholeskyPlan plan_cholesky_naive(const CscMatrix& a_lower,
+                                                 bool with_key = true) const;
+
   /// Full triangular-solve planning. Pass `known_blocks` when L came out
   /// of the Cholesky inspector (supernodes need not be re-derived). The
   /// ParallelTriSolve path is only picked for a dense RHS (|beta| == n)
@@ -75,8 +83,18 @@ class Planner {
 
  private:
   [[nodiscard]] std::uint64_t gate_hash() const;
+  [[nodiscard]] CholeskyPlan plan_cholesky_impl(const CscMatrix& a_lower,
+                                                bool with_key,
+                                                bool naive) const;
 
   PlannerConfig config_;
 };
+
+/// Process-wide count of transpose() calls, in the style of
+/// parallel::level_schedule_builds(): regression tests pin that one cold
+/// plan_cholesky performs exactly one transpose — the shared upper view
+/// threaded through etree, GNP counts, and the fused pattern sweep —
+/// instead of the one-per-consumer transposes of the naive pipeline.
+[[nodiscard]] std::uint64_t planner_transpose_count();
 
 }  // namespace sympiler::core

@@ -7,12 +7,17 @@
 namespace sympiler {
 
 std::vector<index_t> elimination_tree(const CscMatrix& a_lower) {
-  const index_t n = a_lower.cols();
-  SYMPILER_CHECK(a_lower.rows() == n, "etree: matrix must be square");
+  SYMPILER_CHECK(a_lower.rows() == a_lower.cols(),
+                 "etree: matrix must be square");
   // Liu's algorithm consumes the *upper* triangle row-by-row; for lower
   // storage the transpose gives, in its column i, exactly the entries
   // A(i, j) with j <= i.
-  const CscMatrix upper = transpose(a_lower);
+  return elimination_tree_from_upper(transpose(a_lower));
+}
+
+std::vector<index_t> elimination_tree_from_upper(const CscMatrix& upper) {
+  const index_t n = upper.cols();
+  SYMPILER_CHECK(upper.rows() == n, "etree: matrix must be square");
   std::vector<index_t> parent(static_cast<std::size_t>(n), -1);
   std::vector<index_t> ancestor(static_cast<std::size_t>(n), -1);
   for (index_t i = 0; i < n; ++i) {

@@ -16,8 +16,18 @@ namespace sympiler {
 
 /// Compute the elimination tree of a symmetric matrix stored lower.
 /// Returns parent[], with -1 marking roots. O(nnz * alpha(n)) via path
-/// compression on an ancestor array (Liu's algorithm).
+/// compression on an ancestor array (Liu's algorithm). Transposes
+/// internally; cold planning uses elimination_tree_from_upper instead so
+/// one shared transpose serves every symbolic consumer.
 [[nodiscard]] std::vector<index_t> elimination_tree(const CscMatrix& a_lower);
+
+/// Same, consuming a precomputed `upper` = transpose(a_lower): column i of
+/// `upper` holds the entries A(i, j), j <= i — row i of the lower
+/// triangle, which is exactly what Liu's row-by-row sweep walks. Lets the
+/// planner thread one shared transpose through the etree, the GNP column
+/// counts, and the fused pattern sweep.
+[[nodiscard]] std::vector<index_t> elimination_tree_from_upper(
+    const CscMatrix& upper);
 
 /// Postorder of the forest given by parent[] (children before parents,
 /// siblings in index order). Returns a permutation `post` where post[k] is
@@ -25,7 +35,8 @@ namespace sympiler {
 [[nodiscard]] std::vector<index_t> postorder(std::span<const index_t> parent);
 
 /// Number of children of each node in the forest.
-[[nodiscard]] std::vector<index_t> child_counts(std::span<const index_t> parent);
+[[nodiscard]] std::vector<index_t> child_counts(
+    std::span<const index_t> parent);
 
 /// First-child / next-sibling representation of the forest.
 struct ChildLists {

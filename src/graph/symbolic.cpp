@@ -41,7 +41,141 @@ std::span<const index_t> ERreach::row_pattern(index_t i) {
   return {out_.data(), out_.size()};
 }
 
+std::vector<index_t> cholesky_counts(const CscMatrix& a_lower,
+                                     std::span<const index_t> parent,
+                                     std::span<const index_t> post) {
+  const index_t n = a_lower.cols();
+  SYMPILER_CHECK(parent.size() == static_cast<std::size_t>(n) &&
+                     post.size() == static_cast<std::size_t>(n),
+                 "cholesky_counts: parent/post size mismatch");
+  // delta[j]: this column's own contribution before the up-tree
+  // accumulation; leaves start at 1 (their diagonal), every skeleton entry
+  // adds 1, each child and each leaf-overlap LCA subtracts 1.
+  std::vector<index_t> delta(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> first(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> maxfirst(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> prevleaf(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n));
+  // first[j] = postorder rank of j's first (deepest-leftmost) descendant.
+  for (index_t k = 0; k < n; ++k) {
+    index_t j = post[k];
+    delta[j] = first[j] == -1 ? 1 : 0;  // j is a leaf of the etree
+    for (; j != -1 && first[j] == -1; j = parent[j]) first[j] = k;
+  }
+  for (index_t v = 0; v < n; ++v) ancestor[v] = v;
+  for (index_t k = 0; k < n; ++k) {
+    const index_t j = post[k];
+    if (parent[j] != -1) --delta[parent[j]];  // j passes its count up later
+    for (index_t p = a_lower.col_begin(j); p < a_lower.col_end(j); ++p) {
+      const index_t i = a_lower.rowind[p];
+      if (i <= j) continue;  // diagonal: no skeleton edge
+      // Leaf test (GNP Lemma): A(i, j) is a skeleton entry iff j's subtree
+      // is disjoint from everything row i has seen so far.
+      if (first[j] <= maxfirst[i]) continue;
+      maxfirst[i] = first[j];
+      const index_t jprev = prevleaf[i];
+      prevleaf[i] = j;
+      ++delta[j];
+      if (jprev == -1) continue;  // first leaf of row i's subtree
+      // Subsequent leaf: the paths from jprev and j overlap above their
+      // LCA; subtract the double count there. Path-compressed union-find.
+      index_t q = jprev;
+      while (q != ancestor[q]) q = ancestor[q];
+      for (index_t s = jprev; s != q;) {
+        const index_t s_next = ancestor[s];
+        ancestor[s] = q;
+        s = s_next;
+      }
+      --delta[q];
+    }
+    if (parent[j] != -1) ancestor[j] = parent[j];
+  }
+  // Accumulate child deltas up the tree; parent[j] > j makes the forward
+  // sweep see every child's final count before its parent needs it.
+  std::vector<index_t> colcount(delta);
+  for (index_t j = 0; j < n; ++j)
+    if (parent[j] != -1) colcount[parent[j]] += colcount[j];
+  return colcount;
+}
+
+CscMatrix cholesky_fill_pattern(const CscMatrix& upper,
+                                std::span<const index_t> parent,
+                                std::span<const index_t> colcount,
+                                bool with_values,
+                                std::vector<index_t>* row_offdiag) {
+  const index_t n = upper.cols();
+  SYMPILER_CHECK(parent.size() == static_cast<std::size_t>(n) &&
+                     colcount.size() == static_cast<std::size_t>(n),
+                 "cholesky_fill_pattern: size mismatch");
+  CscMatrix lp(n, n);
+  lp.colptr[0] = 0;
+  for (index_t j = 0; j < n; ++j)
+    lp.colptr[j + 1] = lp.colptr[j] + colcount[j];
+  const auto nnz = static_cast<std::size_t>(lp.colptr[n]);
+  lp.rowind.assign(nnz, 0);
+  if (with_values) lp.values.assign(nnz, 0.0);
+  if (row_offdiag != nullptr)
+    row_offdiag->assign(static_cast<std::size_t>(n), 0);
+
+  std::vector<index_t> next(lp.colptr.begin(), lp.colptr.end() - 1);
+  std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
+  for (index_t i = 0; i < n; ++i) {
+    lp.rowind[next[i]++] = i;  // diagonal of column i first
+    mark[i] = i;               // row stamp; never re-collect the diagonal
+    index_t emitted = 0;
+    for (index_t p = upper.col_begin(i); p < upper.col_end(i); ++p) {
+      // Climb the etree from j towards i, emitting row i into every column
+      // on the unvisited part of the path: exactly ereach(i), written at
+      // its final position. Ascending i keeps each column's rows sorted.
+      for (index_t v = upper.rowind[p]; v != -1 && v < i && mark[v] != i;
+           v = parent[v]) {
+        mark[v] = i;
+        lp.rowind[next[v]++] = i;
+        ++emitted;
+      }
+    }
+    if (row_offdiag != nullptr) (*row_offdiag)[i] = emitted;
+  }
+  return lp;
+}
+
+namespace {
+
+SymbolicFactor symbolic_cholesky_fused(const CscMatrix& a_lower,
+                                       const CscMatrix& upper) {
+  const index_t n = a_lower.cols();
+  SYMPILER_CHECK(a_lower.rows() == n, "symbolic_cholesky: not square");
+  SYMPILER_CHECK(a_lower.is_lower_triangular(),
+                 "symbolic_cholesky: input must be the lower triangle");
+  SymbolicFactor s;
+  s.parent = elimination_tree_from_upper(upper);
+  const std::vector<index_t> post = postorder(s.parent);
+  s.colcount = cholesky_counts(a_lower, s.parent, post);
+  s.l_pattern = cholesky_fill_pattern(upper, s.parent, s.colcount);
+  s.fill_nnz = s.l_pattern.colptr[n];
+  for (index_t j = 0; j < n; ++j) {
+    const double cc = s.colcount[j];
+    s.flops += cc * cc;  // cc divisions + (cc^2 - cc) mul/add, ~cc^2
+  }
+  return s;
+}
+
+}  // namespace
+
 SymbolicFactor symbolic_cholesky(const CscMatrix& a_lower) {
+  return symbolic_cholesky_fused(a_lower, transpose(a_lower));
+}
+
+SymbolicFactor symbolic_cholesky(const CscMatrix& a_lower,
+                                 const CscMatrix& upper) {
+  SYMPILER_CHECK(upper.cols() == a_lower.rows() &&
+                     upper.rows() == a_lower.cols() &&
+                     upper.nnz() == a_lower.nnz(),
+                 "symbolic_cholesky: upper is not transpose(a_lower)");
+  return symbolic_cholesky_fused(a_lower, upper);
+}
+
+SymbolicFactor symbolic_cholesky_naive(const CscMatrix& a_lower) {
   const index_t n = a_lower.cols();
   SYMPILER_CHECK(a_lower.rows() == n, "symbolic_cholesky: not square");
   SYMPILER_CHECK(a_lower.is_lower_triangular(),

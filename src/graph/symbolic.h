@@ -4,6 +4,14 @@
 // These are the Cholesky inspection strategies of paper Table 1:
 //   VI-Prune : etree + SP(A), single-node up-traversal -> prune-set SP(L_j*)
 //   VS-Block : etree + ColCount(A), up-traversal        -> block-set
+//
+// Cold planning runs the near-linear pipeline: Gilbert–Ng–Peyton skeleton
+// column counts (O(|A| alpha(n)), no ereach materialization) followed by
+// one fused ereach sweep that writes the pattern of L straight into
+// exact-presized flat arrays, already sorted, from one shared
+// transpose(A). The retired two-pass ereach implementation is retained as
+// symbolic_cholesky_naive, the bit-identical reference the equivalence
+// tests pin the fast path against.
 #pragma once
 
 #include <span>
@@ -51,10 +59,48 @@ struct SymbolicFactor {
   }
 };
 
-/// Compute the elimination tree and the exact pattern of L (paper Eq. 1,
-/// evaluated row-wise via ereach so every entry is produced exactly once,
-/// already sorted). O(nnz(L)) time.
+/// Gilbert–Ng–Peyton column counts: colcount[j] = nnz(L(:, j)) including
+/// the diagonal, computed from the skeleton matrix without materializing
+/// any row pattern. For each entry A(i, j) the leaf test (first-descendant
+/// intervals) decides whether j starts a new path in row i's subtree; the
+/// overlap with the previous leaf is charged to their least common
+/// ancestor, found by path-compressed union-find. O(|A| * alpha(n)) — the
+/// near-linear half of cold planning, replacing the naive
+/// count-every-ereach pass. `post` must be a postorder of `parent`.
+[[nodiscard]] std::vector<index_t> cholesky_counts(
+    const CscMatrix& a_lower, std::span<const index_t> parent,
+    std::span<const index_t> post);
+
+/// Fill the pattern of L in one fused sweep into exact-presized flat
+/// arrays: colptr comes from `colcount`, then one ereach-style row sweep
+/// over `upper` (= transpose(a_lower)) emits every entry directly at its
+/// final position. Visiting rows in ascending order makes every column's
+/// row list come out sorted — no per-column buckets, no per-row sort, and
+/// no intermediate row buffer (entries are written during the etree climb
+/// itself). `with_values` controls whether the |L|-sized zero value array
+/// is allocated (plans whose path never touches L values skip it). When
+/// `row_offdiag` is non-null it receives each row's off-diagonal entry
+/// count (size n) — the rowpat histogram, free from this sweep.
+/// O(|A| + |L|) time.
+[[nodiscard]] CscMatrix cholesky_fill_pattern(
+    const CscMatrix& upper, std::span<const index_t> parent,
+    std::span<const index_t> colcount, bool with_values = true,
+    std::vector<index_t>* row_offdiag = nullptr);
+
+/// Compute the elimination tree, GNP column counts, and the exact pattern
+/// of L (paper Eq. 1) via the fused sweep above. O(|A| alpha(n) + |L|)
+/// time, one transpose. The overload taking `upper` = transpose(a_lower)
+/// reuses a caller-provided shared view and performs no transpose at all.
 [[nodiscard]] SymbolicFactor symbolic_cholesky(const CscMatrix& a_lower);
+[[nodiscard]] SymbolicFactor symbolic_cholesky(const CscMatrix& a_lower,
+                                               const CscMatrix& upper);
+
+/// The retired textbook implementation: count by materializing every
+/// ereach (one full row-pattern pass with per-row sorts), then a second
+/// ereach pass to fill. O(|L| log d) time, two transposes. Retained as
+/// the `_naive` reference the equivalence tests pin the fused/GNP path
+/// against, bit for bit.
+[[nodiscard]] SymbolicFactor symbolic_cholesky_naive(const CscMatrix& a_lower);
 
 /// Reference implementation of Eq. 1 directly: pattern of column j is
 /// A(j:n, j) union of children patterns minus their diagonals. Quadratic

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <atomic>
 
+#ifdef SYMPILER_HAS_OPENMP
+#include <omp.h>
+#endif
+
 #include "blas/kernels.h"
 #include "core/execution_plan.h"
 #include "core/workspace.h"
@@ -13,6 +17,59 @@ namespace sympiler::parallel {
 namespace {
 
 std::atomic<std::uint64_t> g_schedule_builds{0};
+
+#ifdef SYMPILER_HAS_OPENMP
+/// Levels narrower than this many items per team thread run serially
+/// under `omp single` instead of an `omp for`: spreading a handful of
+/// items across the team costs more in worksharing setup and cache-line
+/// handoff than the items themselves, and deep schedules (banded factors)
+/// are almost entirely such levels. The `single`'s implicit barrier
+/// publishes the level exactly like the for's would, so determinism and
+/// the memory model are unchanged.
+constexpr index_t kSerialLevelFactor = 4;
+
+index_t serial_level_cutoff() {
+  return kSerialLevelFactor * static_cast<index_t>(omp_get_num_threads());
+}
+#endif
+
+/// Run one level [lo, hi) of a level-set sweep inside an active parallel
+/// region: tiny levels run serially under `single`, wide levels under a
+/// static `omp for`. Must be called by every thread of the team (both
+/// branches are worksharing constructs). The sequential build compiles to
+/// a plain loop.
+template <typename Body>
+inline void run_level(index_t lo, index_t hi, Body&& body) {
+#ifdef SYMPILER_HAS_OPENMP
+  if (hi - lo < serial_level_cutoff()) {
+#pragma omp single
+    for (index_t t = lo; t < hi; ++t) body(t);
+  } else {
+#pragma omp for schedule(static)
+    for (index_t t = lo; t < hi; ++t) body(t);
+  }
+#else
+  for (index_t t = lo; t < hi; ++t) body(t);
+#endif
+}
+
+/// Same, but wide levels use dynamic scheduling (chunk 4) — the supernodal
+/// factorization's levels mix panel sizes badly enough that static
+/// assignment strands threads behind the big panels.
+template <typename Body>
+inline void run_level_dynamic(index_t lo, index_t hi, Body&& body) {
+#ifdef SYMPILER_HAS_OPENMP
+  if (hi - lo < serial_level_cutoff()) {
+#pragma omp single
+    for (index_t t = lo; t < hi; ++t) body(t);
+  } else {
+#pragma omp for schedule(dynamic, 4)
+    for (index_t t = lo; t < hi; ++t) body(t);
+  }
+#else
+  for (index_t t = lo; t < hi; ++t) body(t);
+#endif
+}
 
 LevelSchedule bucket_by_level(std::span<const index_t> level) {
   g_schedule_builds.fetch_add(1, std::memory_order_relaxed);
@@ -113,19 +170,15 @@ void parallel_trisolve(const CscMatrix& l, const LevelSchedule& schedule,
   const index_t* rptr = umap.row_ptr.data();
   value_t* xp = x.data();
   value_t* tp = terms.data();
-  // One parallel region for the whole solve; each level is a static
-  // omp-for whose implicit barrier realizes the wavefront dependence (and
-  // publishes the level's slot writes to every later level).
+  // One parallel region for the whole solve; each level is a worksharing
+  // loop whose implicit barrier realizes the wavefront dependence (and
+  // publishes the level's slot writes to every later level). Tiny levels
+  // skip the omp-for and run serially in-place (run_level).
 #ifdef SYMPILER_HAS_OPENMP
 #pragma omp parallel
 #endif
   for (index_t lev = 0; lev < schedule.levels(); ++lev) {
-    const index_t lo = schedule.level_ptr[lev];
-    const index_t hi = schedule.level_ptr[lev + 1];
-#ifdef SYMPILER_HAS_OPENMP
-#pragma omp for schedule(static)
-#endif
-    for (index_t t = lo; t < hi; ++t) {
+    const auto solve_column = [&](index_t t) {
       const index_t j = schedule.items[t];
       // Fold the privatized incoming updates in ascending-column order —
       // the exact subtraction sequence of the serial solve.
@@ -138,7 +191,9 @@ void parallel_trisolve(const CscMatrix& l, const LevelSchedule& schedule,
       // slots; no two columns share a slot, so no atomics are needed.
       for (index_t p = p0 + 1; p < l.col_end(j); ++p)
         tp[slot[p]] = Lx[p] * xj;
-    }
+    };
+    run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
+              solve_column);
   }
 }
 
@@ -152,12 +207,7 @@ void parallel_trisolve_multi(const CscMatrix& l, const LevelSchedule& schedule,
 #pragma omp parallel
 #endif
   for (index_t lev = 0; lev < schedule.levels(); ++lev) {
-    const index_t lo = schedule.level_ptr[lev];
-    const index_t hi = schedule.level_ptr[lev + 1];
-#ifdef SYMPILER_HAS_OPENMP
-#pragma omp for schedule(static)
-#endif
-    for (index_t t = lo; t < hi; ++t) {
+    const auto solve_column = [&](index_t t) {
       const index_t j = schedule.items[t];
       value_t* xj = xp + static_cast<std::int64_t>(j) * ldp;
       for (index_t q = rptr[j]; q < rptr[j + 1]; ++q) {
@@ -172,7 +222,9 @@ void parallel_trisolve_multi(const CscMatrix& l, const LevelSchedule& schedule,
         value_t* tq = terms + static_cast<std::int64_t>(slot[p]) * ldp;
         for (index_t r = 0; r < nrhs; ++r) tq[r] = lv * xj[r];
       }
-    }
+    };
+    run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
+              solve_column);
   }
 }
 
@@ -237,12 +289,7 @@ void parallel_cholesky(const core::CholeskySets& sets,
     value_t* const work_data = work_span.data();
     index_t* const map_data = map_span.data();
     for (index_t lev = 0; lev < schedule.levels(); ++lev) {
-      const index_t lo = schedule.level_ptr[lev];
-      const index_t hi = schedule.level_ptr[lev + 1];
-#ifdef SYMPILER_HAS_OPENMP
-#pragma omp for schedule(dynamic, 4)
-#endif
-      for (index_t t = lo; t < hi; ++t) {
+      const auto factor_supernode = [&](index_t t) {
         const index_t s = schedule.items[t];
         const index_t c1 = layout.sn.start[s];
         const index_t w = layout.width(s);
@@ -274,7 +321,9 @@ void parallel_cholesky(const core::CholeskySets& sets,
         blas::potrf_lower(w, panel, m);
         if (m > w)
           blas::trsm_right_lower_trans(m - w, w, panel, m, panel + w, m);
-      }
+      };
+      run_level_dynamic(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
+                        factor_supernode);
     }
   }
 }
@@ -329,12 +378,7 @@ void panel_forward_levels(const solvers::SupernodalLayout& layout,
     tls.ensure(tail_dims);
     value_t* tail = tls.tail().data();
     for (index_t lev = 0; lev < schedule.levels(); ++lev) {
-      const index_t lo = schedule.level_ptr[lev];
-      const index_t hi = schedule.level_ptr[lev + 1];
-#ifdef SYMPILER_HAS_OPENMP
-#pragma omp for schedule(static)
-#endif
-      for (index_t t = lo; t < hi; ++t) {
+      const auto solve_supernode = [&](index_t t) {
         const index_t s = schedule.items[t];
         const index_t c1 = layout.sn.start[s];
         const index_t w = layout.width(s);
@@ -362,7 +406,9 @@ void panel_forward_levels(const solvers::SupernodalLayout& layout,
             for (index_t r = 0; r < nrhs; ++r) dst[r] = src[r];
           }
         }
-      }
+      };
+      run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
+                solve_supernode);
     }
   }
 }
@@ -383,12 +429,7 @@ void panel_backward_levels(const solvers::SupernodalLayout& layout,
     tls.ensure(tail_dims);
     value_t* tail = tls.tail().data();
     for (index_t lev = schedule.levels() - 1; lev >= 0; --lev) {
-      const index_t lo = schedule.level_ptr[lev];
-      const index_t hi = schedule.level_ptr[lev + 1];
-#ifdef SYMPILER_HAS_OPENMP
-#pragma omp for schedule(static)
-#endif
-      for (index_t t = lo; t < hi; ++t) {
+      const auto solve_supernode = [&](index_t t) {
         const index_t s = schedule.items[t];
         const index_t c1 = layout.sn.start[s];
         const index_t w = layout.width(s);
@@ -408,7 +449,9 @@ void panel_backward_levels(const solvers::SupernodalLayout& layout,
         }
         blas::trsm_lower_transpose_multi(
             w, nrhs, panel, m, xp + static_cast<std::int64_t>(c1) * ldp, ldp);
-      }
+      };
+      run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
+                solve_supernode);
     }
   }
 }

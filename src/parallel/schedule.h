@@ -1,0 +1,101 @@
+// Level-set schedule and privatized update-slot map — the pattern-pure
+// symbolic products of the parallel executors, split out of levelset.h so
+// the planning layer (core/inspector.h) can build them inside its parallel
+// assembly region without an include cycle (levelset.h's executors consume
+// core::CholeskySets and therefore include inspector.h).
+//
+// See levelset.h for the execution model these products drive and the
+// determinism argument for the slot map.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/supernodes.h"
+#include "sparse/csc.h"
+#include "util/common.h"
+
+namespace sympiler::solvers {
+struct SupernodalLayout;  // solvers/supernodal.h
+}  // namespace sympiler::solvers
+
+namespace sympiler::parallel {
+
+/// Level schedule: levels partition [0, count) items such that an item's
+/// dependencies all live in strictly earlier levels.
+struct LevelSchedule {
+  std::vector<index_t> level_ptr;  ///< size nlevels + 1
+  std::vector<index_t> items;      ///< permutation of items, bucketed
+  [[nodiscard]] index_t levels() const {
+    return level_ptr.empty()
+               ? 0
+               : static_cast<index_t>(level_ptr.size()) - 1;
+  }
+  [[nodiscard]] bool empty() const { return items.empty(); }
+  /// Mean items per level; 0 for an empty schedule.
+  [[nodiscard]] double avg_level_width() const {
+    const index_t n = levels();
+    return n > 0 ? static_cast<double>(items.size()) / static_cast<double>(n)
+                 : 0.0;
+  }
+  /// Heap bytes of the schedule arrays (plan-size accounting).
+  [[nodiscard]] std::size_t bytes() const {
+    return (level_ptr.size() + items.size()) * sizeof(index_t);
+  }
+};
+
+/// Privatized cross-item update map: the symbolic product that makes the
+/// level-set solves deterministic. Every off-diagonal update a source item
+/// (column, or supernode tail row) will produce gets a dedicated slot in a
+/// terms buffer; slots are grouped by target row and ordered by ascending
+/// source within each row, so the consumer's fold replays the serial
+/// update order exactly. Pattern-pure — built by the Planner, cached with
+/// the plan.
+struct UpdateSlotMap {
+  /// Source position -> slot id. For the column map, indexed by CSC
+  /// position p of L (diagonal positions hold -1); for the supernodal map,
+  /// indexed by global srows position (block-row positions hold -1).
+  std::vector<index_t> slot;
+  /// Incoming slots of row i are [row_ptr[i], row_ptr[i+1]), in ascending
+  /// source order. Size n + 1.
+  std::vector<index_t> row_ptr;
+
+  [[nodiscard]] index_t slots() const {
+    return row_ptr.empty() ? 0 : row_ptr.back();
+  }
+  [[nodiscard]] bool empty() const { return row_ptr.empty(); }
+  /// Heap bytes of the map arrays (plan-size accounting).
+  [[nodiscard]] std::size_t bytes() const {
+    return (slot.size() + row_ptr.size()) * sizeof(index_t);
+  }
+};
+
+/// Slot map of the column update pattern of L: one slot per strictly-lower
+/// nonzero. `order` is the column iteration order of the serial solve the
+/// parallel one must replay — the plan's reach sequence for the pruned
+/// executor, or empty for ascending column order (trisolve_naive). Rows
+/// fold their updaters in that order.
+[[nodiscard]] UpdateSlotMap update_slots_columns(
+    const CscMatrix& l, std::span<const index_t> order = {});
+
+/// Slot map of the supernodal forward-solve update pattern: one slot per
+/// below-diagonal panel row, target rows fold their contributing
+/// supernodes in ascending supernode order.
+[[nodiscard]] UpdateSlotMap update_slots_supernodes(
+    const solvers::SupernodalLayout& layout);
+
+/// Process-wide count of level schedules constructed so far. Regression
+/// instrumentation: a warm plan-cache hit must do zero schedule work, which
+/// tests assert by taking the counter's delta around a warm factor().
+[[nodiscard]] std::uint64_t level_schedule_builds();
+
+/// Levels of the column dependence graph DG_L (column j depends on every
+/// column k with L(j,k) != 0).
+[[nodiscard]] LevelSchedule level_schedule_columns(const CscMatrix& l);
+
+/// Levels of the supernodal elimination forest.
+[[nodiscard]] LevelSchedule level_schedule_supernodes(
+    const SupernodePartition& sn, std::span<const index_t> parent);
+
+}  // namespace sympiler::parallel

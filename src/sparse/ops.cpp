@@ -1,11 +1,21 @@
 #include "sparse/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace sympiler {
 
+namespace {
+std::atomic<std::uint64_t> g_transpose_calls{0};
+}  // namespace
+
+std::uint64_t transpose_count() {
+  return g_transpose_calls.load(std::memory_order_relaxed);
+}
+
 CscMatrix transpose(const CscMatrix& a) {
+  g_transpose_calls.fetch_add(1, std::memory_order_relaxed);
   CscMatrix at(a.cols(), a.rows(), a.nnz());
   std::vector<index_t> count(static_cast<std::size_t>(a.rows()) + 1, 0);
   for (index_t p = 0; p < a.nnz(); ++p) ++count[a.rowind[p] + 1];

@@ -3,6 +3,7 @@
 // and the residual helpers the test-suite builds its properties on.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -13,6 +14,13 @@ namespace sympiler {
 
 /// B = A^T (values transposed too). O(nnz + n).
 [[nodiscard]] CscMatrix transpose(const CscMatrix& a);
+
+/// Process-wide count of transpose() calls. Regression instrumentation in
+/// the style of parallel::level_schedule_builds(): a cold Planner build
+/// must perform exactly one transpose (the shared upper-triangle view
+/// threaded through etree, column counts, and the fused pattern sweep) —
+/// tests pin that by taking this counter's delta around plan_cholesky.
+[[nodiscard]] std::uint64_t transpose_count();
 
 /// Extract the lower triangle (entries with row >= col).
 [[nodiscard]] CscMatrix lower_triangle(const CscMatrix& a);

@@ -205,6 +205,87 @@ CscMatrix brute_force_fill(const CscMatrix& a_lower) {
   return CscMatrix::from_triplets(n, n, trip);
 }
 
+/// The structural regimes the planner sees: meshes (both orderings), 3-D,
+/// dof-blocks, irregular random, banded, tree-like, and degenerate.
+std::vector<CscMatrix> generator_patterns() {
+  std::vector<CscMatrix> mats;
+  mats.push_back(gen::grid2d_laplacian(20, 20));
+  mats.push_back(gen::grid2d_laplacian(17, 23, gen::GridOrder::Natural));
+  mats.push_back(gen::grid3d_laplacian(7, 8, 6));
+  mats.push_back(gen::block_structural(8, 9, 3, 42));
+  mats.push_back(gen::random_spd(300, 3.0, 7));
+  mats.push_back(gen::banded_spd(200, 11, 3));
+  mats.push_back(gen::power_grid(400, 60, 9));
+  mats.push_back(CscMatrix::identity(50));  // forest of roots, zero fill
+  return mats;
+}
+
+TEST(Symbolic, GnpCountsMatchNaiveOnEveryGeneratorPattern) {
+  // The GNP skeleton/LCA counts never materialize a row pattern; they must
+  // nevertheless equal the count-every-ereach reference exactly.
+  std::size_t idx = 0;
+  for (const CscMatrix& a : generator_patterns()) {
+    const SymbolicFactor naive = symbolic_cholesky_naive(a);
+    const std::vector<index_t> post = postorder(naive.parent);
+    const std::vector<index_t> counts =
+        cholesky_counts(a, naive.parent, post);
+    EXPECT_EQ(counts, naive.colcount) << "pattern " << idx;
+    ++idx;
+  }
+}
+
+TEST(Symbolic, FusedSweepMatchesNaiveBitForBitOnEveryGeneratorPattern) {
+  // The fused one-transpose sweep must reproduce the naive two-pass
+  // product exactly: same parent, counts, pattern order, values, flops.
+  std::size_t idx = 0;
+  for (const CscMatrix& a : generator_patterns()) {
+    const SymbolicFactor fast = symbolic_cholesky(a);
+    const SymbolicFactor naive = symbolic_cholesky_naive(a);
+    EXPECT_EQ(fast.parent, naive.parent) << "pattern " << idx;
+    EXPECT_EQ(fast.colcount, naive.colcount) << "pattern " << idx;
+    EXPECT_EQ(fast.l_pattern.colptr, naive.l_pattern.colptr)
+        << "pattern " << idx;
+    EXPECT_EQ(fast.l_pattern.rowind, naive.l_pattern.rowind)
+        << "pattern " << idx;  // exact emission order, not just the set
+    EXPECT_EQ(fast.l_pattern.values, naive.l_pattern.values)
+        << "pattern " << idx;
+    EXPECT_EQ(fast.fill_nnz, naive.fill_nnz) << "pattern " << idx;
+    EXPECT_EQ(fast.flops, naive.flops) << "pattern " << idx;
+    ++idx;
+  }
+}
+
+TEST(Symbolic, FillPatternSharedUpperAndRowHistogram) {
+  const CscMatrix a = gen::grid2d_laplacian(15, 15);
+  const CscMatrix upper = transpose(a);
+  const SymbolicFactor via_upper = symbolic_cholesky(a, upper);
+  const SymbolicFactor direct = symbolic_cholesky(a);
+  EXPECT_TRUE(via_upper.l_pattern.equals(direct.l_pattern));
+
+  // The row-offdiag histogram the sweep emits for free must equal the
+  // off-diagonal row counts of the pattern's transpose.
+  std::vector<index_t> row_off;
+  const CscMatrix lp = cholesky_fill_pattern(
+      upper, via_upper.parent, via_upper.colcount, /*with_values=*/false,
+      &row_off);
+  EXPECT_TRUE(lp.same_pattern(direct.l_pattern));
+  EXPECT_TRUE(lp.values.empty());
+  const CscMatrix lt = transpose(direct.l_pattern);
+  for (index_t i = 0; i < a.cols(); ++i) {
+    index_t expected = 0;
+    for (index_t p = lt.col_begin(i); p < lt.col_end(i); ++p)
+      if (lt.rowind[p] < i) ++expected;
+    ASSERT_EQ(row_off[i], expected) << "row " << i;
+  }
+}
+
+TEST(Etree, FromUpperMatchesTransposingVariant) {
+  for (const CscMatrix& a : generator_patterns()) {
+    EXPECT_EQ(elimination_tree_from_upper(transpose(a)),
+              elimination_tree(a));
+  }
+}
+
 TEST(Symbolic, MatchesBruteForceAndReferenceOnRandom) {
   std::mt19937_64 rng(3);
   for (int trial = 0; trial < 15; ++trial) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #ifdef SYMPILER_HAS_OPENMP
@@ -465,6 +466,173 @@ TEST(ExecutionPlan, SecondSolverSharingContextDoesZeroScheduleWork) {
 
   // Both Solvers produce the same factor bits from the shared plan.
   ASSERT_TRUE(warm.factor_csc().equals(cold.factor_csc()));
+}
+
+// ---------------------- cold-plan equivalence vs the naive reference
+
+/// Patterns spanning the planner's structural regimes (mirrors
+/// test_graph's generator_patterns).
+std::vector<CscMatrix> plan_test_patterns() {
+  std::vector<CscMatrix> mats;
+  mats.push_back(gen::grid2d_laplacian(18, 18));
+  mats.push_back(gen::grid2d_laplacian(14, 20, gen::GridOrder::Natural));
+  mats.push_back(gen::grid3d_laplacian(6, 7, 5));
+  mats.push_back(gen::block_structural(7, 8, 3, 42));
+  mats.push_back(gen::random_spd(250, 3.0, 7));
+  mats.push_back(gen::banded_spd(180, 9, 3));
+  mats.push_back(gen::power_grid(350, 50, 9));
+  return mats;
+}
+
+/// The planner configurations that exercise every path choice.
+std::vector<PlannerConfig> plan_test_configs() {
+  std::vector<PlannerConfig> configs;
+  configs.push_back(PlannerConfig{});  // defaults: path depends on pattern
+  PlannerConfig simplicial;
+  simplicial.options.vsblock_min_avg_size = 1e9;  // force the gate shut
+  configs.push_back(simplicial);
+  PlannerConfig par;
+  par.options.vsblock_min_avg_size = 0.0;
+  par.options.vsblock_min_avg_width = 0.0;
+  par.parallel_min_supernodes = 1;
+  par.parallel_min_avg_level_width = 0.0;
+  configs.push_back(par);
+  return configs;
+}
+
+void expect_plans_bit_identical(const CholeskyPlan& fast,
+                                const CholeskyPlan& naive,
+                                const std::string& label) {
+  EXPECT_TRUE(fast.key == naive.key) << label;
+  EXPECT_EQ(fast.path, naive.path) << label;
+  // Symbolic factor.
+  EXPECT_EQ(fast.sets.sym.parent, naive.sets.sym.parent) << label;
+  EXPECT_EQ(fast.sets.sym.colcount, naive.sets.sym.colcount) << label;
+  EXPECT_EQ(fast.sets.sym.l_pattern.colptr, naive.sets.sym.l_pattern.colptr)
+      << label;
+  EXPECT_EQ(fast.sets.sym.l_pattern.rowind, naive.sets.sym.l_pattern.rowind)
+      << label;  // exact order, not just the set
+  EXPECT_EQ(fast.sets.sym.l_pattern.values, naive.sets.sym.l_pattern.values)
+      << label;  // including presence: gated plans carry no zero array
+  EXPECT_EQ(fast.sets.sym.fill_nnz, naive.sets.sym.fill_nnz) << label;
+  EXPECT_EQ(fast.sets.sym.flops, naive.sets.sym.flops) << label;
+  // Block-set + simplicial prune-sets.
+  EXPECT_EQ(fast.sets.blocks.start, naive.sets.blocks.start) << label;
+  EXPECT_EQ(fast.sets.blocks.col_to_super, naive.sets.blocks.col_to_super)
+      << label;
+  EXPECT_EQ(fast.sets.rowpat_ptr, naive.sets.rowpat_ptr) << label;
+  EXPECT_EQ(fast.sets.rowpat, naive.sets.rowpat) << label;
+  // Supernodal layout + static update schedule.
+  EXPECT_EQ(fast.sets.layout.srow_ptr, naive.sets.layout.srow_ptr) << label;
+  EXPECT_EQ(fast.sets.layout.srows, naive.sets.layout.srows) << label;
+  EXPECT_EQ(fast.sets.layout.panel_ptr, naive.sets.layout.panel_ptr) << label;
+  ASSERT_EQ(fast.sets.updates.ptr, naive.sets.updates.ptr) << label;
+  ASSERT_EQ(fast.sets.updates.refs.size(), naive.sets.updates.refs.size())
+      << label;
+  for (std::size_t u = 0; u < fast.sets.updates.refs.size(); ++u) {
+    EXPECT_EQ(fast.sets.updates.refs[u].d, naive.sets.updates.refs[u].d);
+    EXPECT_EQ(fast.sets.updates.refs[u].p1, naive.sets.updates.refs[u].p1);
+    EXPECT_EQ(fast.sets.updates.refs[u].p2, naive.sets.updates.refs[u].p2);
+  }
+  // Level schedule + privatized slot map (order included).
+  EXPECT_EQ(fast.schedule.level_ptr, naive.schedule.level_ptr) << label;
+  EXPECT_EQ(fast.schedule.items, naive.schedule.items) << label;
+  EXPECT_EQ(fast.solve_update_map.slot, naive.solve_update_map.slot) << label;
+  EXPECT_EQ(fast.solve_update_map.row_ptr, naive.solve_update_map.row_ptr)
+      << label;
+  // Workspace dims + byte accounting.
+  EXPECT_EQ(fast.workspace.n, naive.workspace.n) << label;
+  EXPECT_EQ(fast.workspace.max_panel_rows, naive.workspace.max_panel_rows)
+      << label;
+  EXPECT_EQ(fast.workspace.max_panel_width, naive.workspace.max_panel_width)
+      << label;
+  EXPECT_EQ(fast.workspace.max_tail, naive.workspace.max_tail) << label;
+  EXPECT_EQ(fast.workspace.rhs_block, naive.workspace.rhs_block) << label;
+  EXPECT_EQ(fast.workspace.update_slots, naive.workspace.update_slots)
+      << label;
+  EXPECT_EQ(fast.workspace.need_map, naive.workspace.need_map) << label;
+  EXPECT_EQ(fast.workspace.need_dense, naive.workspace.need_dense) << label;
+  EXPECT_EQ(fast.bytes(), naive.bytes()) << label;
+}
+
+TEST(Planner, ColdPlanBitIdenticalToNaiveReferenceOnEveryPattern) {
+  // The tentpole contract: the GNP/fused/parallel cold pipeline changes
+  // how plans are built, never what they contain. Every product — plan
+  // bytes, schedule, slot order — must match the retained naive-serial
+  // reference on every generator pattern under every path choice.
+  const auto patterns = plan_test_patterns();
+  const auto configs = plan_test_configs();
+  for (std::size_t m = 0; m < patterns.size(); ++m) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const Planner planner(configs[c]);
+      const CholeskyPlan fast = planner.plan_cholesky(patterns[m]);
+      const CholeskyPlan naive = planner.plan_cholesky_naive(patterns[m]);
+      expect_plans_bit_identical(
+          fast, naive,
+          "pattern " + std::to_string(m) + " config " + std::to_string(c));
+    }
+  }
+}
+
+TEST(Planner, GatedPlansCarryOnlyPathConsumedProducts) {
+  const CscMatrix a = gen::grid2d_laplacian(30, 30);
+
+  PlannerConfig sup = supernodal_config();
+  const CholeskyPlan supernodal = Planner(sup).plan_cholesky(a);
+  ASSERT_EQ(supernodal.path, ExecutionPath::Supernodal);
+  // Supernodal plans carry the layout but neither the simplicial row
+  // patterns nor the |L|-sized zero value array.
+  EXPECT_FALSE(supernodal.sets.layout.srows.empty());
+  EXPECT_FALSE(supernodal.sets.updates.ptr.empty());
+  EXPECT_TRUE(supernodal.sets.rowpat_ptr.empty());
+  EXPECT_TRUE(supernodal.sets.sym.l_pattern.values.empty());
+  EXPECT_FALSE(supernodal.sets.sym.l_pattern.rowind.empty());
+
+  PlannerConfig simp;
+  simp.options.vsblock_min_avg_size = 1e9;
+  const CholeskyPlan simplicial = Planner(simp).plan_cholesky(a);
+  ASSERT_EQ(simplicial.path, ExecutionPath::Simplicial);
+  // Simplicial plans carry rowpat + L values, no supernodal layout.
+  EXPECT_FALSE(simplicial.sets.rowpat_ptr.empty());
+  EXPECT_EQ(simplicial.sets.sym.l_pattern.values.size(),
+            simplicial.sets.sym.l_pattern.rowind.size());
+  EXPECT_TRUE(simplicial.sets.layout.srows.empty());
+  EXPECT_TRUE(simplicial.sets.updates.refs.empty());
+
+  // The ungated inspector contract is unchanged: everything present.
+  const core::CholeskySets full = core::inspect_cholesky(a, sup.options);
+  EXPECT_FALSE(full.rowpat_ptr.empty());
+  EXPECT_FALSE(full.layout.srows.empty());
+  EXPECT_EQ(full.sym.l_pattern.values.size(),
+            full.sym.l_pattern.rowind.size());
+}
+
+// ------------------------------ planner transpose-count regression
+
+TEST(Planner, ColdPlanDoesExactlyOneTransposeAndWarmDoesNone) {
+  // The duplicate-work bug this pins: etree and ERreach used to each
+  // privately transpose A, so a cold api::Solver build transposed more
+  // than once. All symbolic consumers now share the planner's single
+  // upper-triangle view.
+  const CscMatrix a = gen::grid2d_laplacian(25, 25);
+  for (const PlannerConfig& config : plan_test_configs()) {
+    const std::uint64_t before = core::planner_transpose_count();
+    const CholeskyPlan plan = Planner(config).plan_cholesky(a);
+    EXPECT_EQ(core::planner_transpose_count() - before, 1u)
+        << "path " << core::to_string(plan.path);
+  }
+
+  // Through the facade: one transpose on the cold factor, zero on warm.
+  auto context = std::make_shared<api::SymbolicContext>();
+  api::Solver cold({}, context);
+  const std::uint64_t before_cold = core::planner_transpose_count();
+  cold.factor(a);
+  EXPECT_EQ(core::planner_transpose_count() - before_cold, 1u);
+  api::Solver warm({}, context);
+  const std::uint64_t before_warm = core::planner_transpose_count();
+  warm.factor(a);
+  EXPECT_TRUE(warm.symbolic_cached());
+  EXPECT_EQ(core::planner_transpose_count() - before_warm, 0u);
 }
 
 }  // namespace
