@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/plan_compiler.h"
 #include "parallel/levelset.h"
 #include "solvers/supernodal.h"
 
@@ -29,8 +30,11 @@ void Solver::factor(const CscMatrix& a_lower) {
   // leave a half-overwritten factor reachable through solve().
   factorized_ = false;
   prepare_symbolic(a_lower);
+  maybe_compile_kernel();
   // Thin dispatch on the plan's path — every decision was made at plan
-  // time and cached with the plan.
+  // time and cached with the plan. When a plan-compiled kernel has been
+  // published, the executor adopts it internally (same buffers, pinned
+  // bit-identical).
   if (plan_->path == ExecutionPath::ParallelSupernodal) {
     parallel::parallel_cholesky(*plan_, a_lower, panels_);
   } else {
@@ -78,6 +82,30 @@ void Solver::prepare_symbolic(const CscMatrix& a_lower) {
     panels_.clear();
     panels_.shrink_to_fit();
   }
+}
+
+void Solver::maybe_compile_kernel() {
+  const core::SympilerOptions& opt = config_.options;
+  if (opt.jit == core::JitMode::kOff) return;
+  // Eligibility was decided at plan time (sequential paths only; the
+  // parallel interpreters keep parallel plans). The gates below are the
+  // dynamic part: has the pattern recurred enough to amortize the compile?
+  if (!plan_->evidence.jit_eligible) return;
+  const core::JitSlot& slot = *plan_->jit;
+  if (slot.failed()) return;
+  if (slot.kernel() != nullptr) return;  // executor adopts it at dispatch
+  const std::uint64_t uses = slot.note_use();
+  if (opt.jit == core::JitMode::kWarm &&
+      uses < static_cast<std::uint64_t>(opt.jit_warm_calls))
+    return;
+  const std::size_t cap =
+      opt.jit_max_source_kb > 0
+          ? static_cast<std::size_t>(opt.jit_max_source_kb) * 1024
+          : 0;
+  if (core::PlanCompiler::compile(*plan_, cap) != nullptr)
+    // The plan just grew by the artifact: tell the cache ledger so the
+    // kernel is budgeted — and evicted — with its plan.
+    context_->cholesky_cache().refresh_bytes(key_);
 }
 
 void Solver::solve(std::span<value_t> bx) const {
@@ -171,6 +199,7 @@ TriangularSolver::TriangularSolver(const CscMatrix& l,
     : context_(context ? std::move(context)
                        : std::make_shared<SymbolicContext>(
                              config.cache_byte_budget, config.cache_shards)),
+      config_(config),
       l_(&l),
       n_(l.cols()),
       executor_(lookup_trisolve_plan(l, beta, config, *context_,
@@ -186,9 +215,30 @@ TriangularSolver::TriangularSolver(const CscMatrix& l,
   }
 }
 
+void TriangularSolver::maybe_compile_kernel() const {
+  const core::SympilerOptions& opt = config_.options;
+  if (opt.jit == core::JitMode::kOff) return;
+  const core::TriSolvePlan& plan = executor_.plan();
+  if (!plan.evidence.jit_eligible) return;
+  const core::JitSlot& slot = *plan.jit;
+  if (slot.failed()) return;
+  if (slot.kernel() != nullptr) return;  // executor adopts it at dispatch
+  const std::uint64_t uses = slot.note_use();
+  if (opt.jit == core::JitMode::kWarm &&
+      uses < static_cast<std::uint64_t>(opt.jit_warm_calls))
+    return;
+  const std::size_t cap =
+      opt.jit_max_source_kb > 0
+          ? static_cast<std::size_t>(opt.jit_max_source_kb) * 1024
+          : 0;
+  if (core::PlanCompiler::compile(plan, *l_, cap) != nullptr)
+    context_->trisolve_cache().refresh_bytes(plan.key);
+}
+
 void TriangularSolver::solve(std::span<value_t> x) const {
   SYMPILER_CHECK(static_cast<index_t>(x.size()) == n_,
                  "triangular solver: size mismatch");
+  maybe_compile_kernel();
   if (executor_.plan().path == ExecutionPath::ParallelTriSolve) {
     // Level-set interpreter with the plan's privatized update slots:
     // atomic-free, bit-identical to executor_.solve() at any thread count.
@@ -204,6 +254,7 @@ void TriangularSolver::solve_batch(std::span<value_t> xs, index_t nrhs) const {
   const std::size_t n = static_cast<std::size_t>(n_);
   SYMPILER_CHECK(xs.size() == n * static_cast<std::size_t>(nrhs),
                  "triangular solver: batch size mismatch");
+  maybe_compile_kernel();
   if (executor_.plan().path == ExecutionPath::ParallelTriSolve) {
     // Blocked level-set path: packed RHS blocks sweep the level schedule
     // (parallel inside each level), per column bit-identical to looped

@@ -147,6 +147,11 @@ class Solver {
 
  private:
   void prepare_symbolic(const CscMatrix& a_lower);
+  /// JitMode dispatch tier: count this facade use of the plan and, when
+  /// the mode's gate passes, lower the plan to a compiled kernel
+  /// (core/plan_compiler.h). The executor adopts the published kernel on
+  /// the same call; later factor() calls skip straight to it.
+  void maybe_compile_kernel();
 
   SolverConfig config_;
   std::shared_ptr<SymbolicContext> context_;
@@ -195,7 +200,13 @@ class TriangularSolver {
   [[nodiscard]] CacheStats cache_stats() const;
 
  private:
+  /// JitMode dispatch tier (see Solver::maybe_compile_kernel). Logically
+  /// const: compilation mutates only the plan's JitSlot and the cache
+  /// ledger, never this solver.
+  void maybe_compile_kernel() const;
+
   std::shared_ptr<SymbolicContext> context_;
+  SolverConfig config_;
   const CscMatrix* l_;
   index_t n_ = 0;
   bool symbolic_cached_ = false;

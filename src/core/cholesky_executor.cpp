@@ -53,8 +53,23 @@ CholeskyExecutor::CholeskyExecutor(std::shared_ptr<const CholeskyPlan> plan)
 }
 
 void CholeskyExecutor::factorize(const CscMatrix& a_lower) {
-  // Pure plan dispatch: the path was decided at plan time.
+  // Pure plan dispatch: the path was decided at plan time. A published
+  // plan-compiled kernel (plan_compiler.h) takes over the whole numeric
+  // phase — it consumes exactly the buffers sized here, so adopting it
+  // costs one mutex peek and no allocation, and it is pinned bit-identical
+  // to the interpreters below.
   const Workspace::Borrow guard(ws_);
+  if (const auto kernel = plan_->jit->kernel()) {
+    const auto fn = kernel->entry<PlanCholeskyFn>();
+    value_t* values = vs_block_applied() ? panels_.data() : l_.values.data();
+    value_t* scratch =
+        vs_block_applied() ? ws_.update().data() : ws_.dense().data();
+    if (fn(a_lower.colptr.data(), a_lower.rowind.data(),
+           a_lower.values.data(), values, scratch, ws_.map().data()) != 0)
+      throw numerical_error("cholesky: non-positive pivot");
+    factorized_ = true;
+    return;
+  }
   if (vs_block_applied()) {
     factorize_supernodal(a_lower);
   } else {

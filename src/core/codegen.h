@@ -30,6 +30,14 @@ struct GeneratedKernel {
                                                 std::span<const index_t> beta,
                                                 const SympilerOptions& opt = {});
 
+/// Same, consuming inspection sets that already exist (e.g. from a cached
+/// ExecutionPlan) instead of re-running the inspector — the decoupled
+/// entry point: symbolic analysis happens once, emission is a pure
+/// function of its products. The beta overload above delegates here.
+[[nodiscard]] GeneratedKernel generate_trisolve(const CscMatrix& l,
+                                                TriSolveSets sets,
+                                                const SympilerOptions& opt = {});
+
 /// Generate specialized Cholesky code for the inspected pattern. Exported
 /// symbol (returns 0 on success, -1 on a non-positive pivot):
 ///   int sym_cholesky(const int* Ap, const int* Ai, const double* Ax,

@@ -17,8 +17,10 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
+#include "core/compiled_kernel.h"
 #include "core/inspector.h"
 #include "core/options.h"
 #include "core/pattern_key.h"
@@ -52,6 +54,12 @@ struct PlanEvidence {
   double avg_level_width = 0.0;       ///< items per level
   double build_seconds = 0.0;         ///< wall time spent planning (cost to
                                       ///< recompute; weighs eviction)
+  /// Whether the facades may lower this plan to a compiled kernel
+  /// (plan_compiler.h): sequential paths only — the parallel interpreters
+  /// beat any serial compiled kernel, so parallel plans stay interpreted.
+  /// The dynamic compile state (compiled / failed, compile seconds) lives
+  /// in the plan's JitSlot and is surfaced by summary().
+  bool jit_eligible = false;
   /// Per-phase cold-planning breakdown (etree / counts / pattern /
   /// schedule / slotmap seconds — the cache_reuse bench emits these).
   PlanPhaseTimes phases;
@@ -74,12 +82,18 @@ struct CholeskyPlan {
   /// Numeric scratch sizes this plan implies (executors size their
   /// Workspace from these once, before the first numeric call).
   WorkspaceDims workspace;
+  /// Write-once slot for the plan-compiled kernel (plan_compiler.h) — the
+  /// one mutable corner of the plan, held by shared_ptr so plans stay
+  /// movable. Executors adopt a published kernel on their next call.
+  std::shared_ptr<JitSlot> jit = std::make_shared<JitSlot>();
 
   /// Total heap footprint of the artifact — the plan cache's eviction
-  /// weight (entries are weighed by bytes, not counted).
+  /// weight (entries are weighed by bytes, not counted). Includes the
+  /// compiled kernel once published; PlanCache::refresh_bytes re-samples
+  /// the resident entry so eviction drops the artifact with its plan.
   [[nodiscard]] std::size_t bytes() const {
     return sizeof(CholeskyPlan) + sets.bytes() + schedule.bytes() +
-           solve_update_map.bytes();
+           solve_update_map.bytes() + jit->bytes();
   }
 
   /// One-paragraph human summary (CLI --explain).
@@ -103,10 +117,12 @@ struct TriSolvePlan {
   PlanEvidence evidence;
   /// Numeric scratch sizes this plan implies.
   WorkspaceDims workspace;
+  /// Write-once slot for the plan-compiled kernel (see CholeskyPlan::jit).
+  std::shared_ptr<JitSlot> jit = std::make_shared<JitSlot>();
 
   [[nodiscard]] std::size_t bytes() const {
     return sizeof(TriSolvePlan) + sets.bytes() + schedule.bytes() +
-           update_map.bytes();
+           update_map.bytes() + jit->bytes();
   }
 
   [[nodiscard]] std::string summary() const;

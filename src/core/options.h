@@ -6,6 +6,26 @@
 
 namespace sympiler::core {
 
+/// Dispatch tier of the plan-compiled kernels (core/plan_compiler.h): when
+/// a facade lowers a cached plan to pattern-specialized C and routes the
+/// numeric phase through the compiled kernel instead of the interpreter.
+/// Deliberately excluded from the plan cache key (pattern_key.cpp): the
+/// plan's *content* is identical under every mode — only who executes it
+/// differs — so Solvers with different modes share one cached plan.
+enum class JitMode {
+  /// Interpreters only (default). Compiling forks the host compiler and
+  /// allocates, which would break the zero-alloc warm-path contract if it
+  /// ever ran inside a steady-state factor() — so compilation is opt-in.
+  kOff,
+  /// Compile once a pattern's facade-use count reaches jit_warm_calls:
+  /// the pattern has proven it recurs, so the one-time compile cost
+  /// amortizes (the paper's regime — compile <= 0.3x one numeric
+  /// Cholesky, repaid over repeated factors).
+  kWarm,
+  /// Compile on first use, before the first numeric call.
+  kAlways,
+};
+
 struct SympilerOptions {
   // Inspector-guided transformations (paper section 2.3).
   bool vs_block = true;
@@ -46,6 +66,15 @@ struct SympilerOptions {
   /// Relaxed amalgamation (extension; paper evaluates with this off).
   bool relax_supernodes = false;
   double relax_ratio = 0.2;
+
+  /// Plan-compiled kernel dispatch (api::Solver / api::TriangularSolver).
+  JitMode jit = JitMode::kOff;
+  /// kWarm compiles when the pattern's facade-use count reaches this.
+  index_t jit_warm_calls = 2;
+  /// Skip compiling plans whose emitted translation unit exceeds this
+  /// (baked pattern arrays scale with nnz(L); very large patterns would
+  /// pay minutes of host-compiler time for a serial kernel). 0 = no cap.
+  index_t jit_max_source_kb = 4096;
 };
 
 }  // namespace sympiler::core

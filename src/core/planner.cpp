@@ -25,7 +25,8 @@ namespace {
 
 std::string summarize(const char* kind, const PatternKey& key,
                       ExecutionPath path, const PlanEvidence& ev,
-                      std::size_t bytes, std::size_t workspace_bytes) {
+                      const JitSlot& jit, std::size_t bytes,
+                      std::size_t workspace_bytes) {
   std::ostringstream os;
   os << kind << " plan for " << key.rows << "x" << key.cols
      << " nnz=" << key.nnz;
@@ -40,6 +41,18 @@ std::string summarize(const char* kind, const PatternKey& key,
        << ", avg level width: " << ev.avg_level_width;
   } else {
     os << "\n  levels: not scheduled (parallel gates closed)";
+  }
+  // Dynamic JIT state lives in the plan's slot, not the evidence: a plan
+  // may be explained before, after, or instead of being compiled.
+  if (const auto kernel = jit.kernel()) {
+    os << "\n  jit: compiled (" << kernel->compile_seconds * 1e3 << " ms, "
+       << kernel->source_bytes / 1024 << " KiB source)";
+  } else if (jit.failed()) {
+    os << "\n  jit: failed (" << jit.failure() << ")";
+  } else {
+    os << "\n  jit: "
+       << (ev.jit_eligible ? "eligible (interpreting until compiled)"
+                           : "ineligible (parallel plan stays interpreted)");
   }
   os << "\n  plan bytes: " << bytes
      << ", executor workspace bytes: " << workspace_bytes
@@ -58,12 +71,12 @@ std::string summarize(const char* kind, const PatternKey& key,
 }  // namespace
 
 std::string CholeskyPlan::summary() const {
-  return summarize("cholesky", key, path, evidence, bytes(),
+  return summarize("cholesky", key, path, evidence, *jit, bytes(),
                    workspace.bytes());
 }
 
 std::string TriSolvePlan::summary() const {
-  return summarize("trisolve", key, path, evidence, bytes(),
+  return summarize("trisolve", key, path, evidence, *jit, bytes(),
                    workspace.bytes());
 }
 
@@ -165,6 +178,11 @@ CholeskyPlan Planner::plan_cholesky_impl(const CscMatrix& a_lower,
       }
     }
   }
+  // JIT eligibility is a path property: sequential plans may be lowered to
+  // a plan-compiled kernel (plan_compiler.h); the parallel interpreter
+  // keeps ParallelSupernodal plans.
+  ev.jit_eligible = plan.path == ExecutionPath::Simplicial ||
+                    plan.path == ExecutionPath::Supernodal;
   ev.build_seconds = timer.seconds();
   return plan;
 }
@@ -231,6 +249,8 @@ TriSolvePlan Planner::plan_trisolve(const CscMatrix& l,
       plan.workspace.rhs_block = kRhsBlockWidth;
     }
   }
+  ev.jit_eligible = plan.path == ExecutionPath::PrunedTriSolve ||
+                    plan.path == ExecutionPath::BlockedTriSolve;
   ev.build_seconds = timer.seconds();
   return plan;
 }

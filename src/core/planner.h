@@ -1,11 +1,19 @@
 // Planner: (sparsity pattern, options, config) -> ExecutionPlan.
 //
 // The planning layer absorbs every decision that used to be scattered
-// across api::Solver and the executors: it runs the inspector, builds the
-// level-set schedule when the parallel gates clear, and commits to one
-// ExecutionPath with the profitability evidence recorded in the plan.
-// Planning is a pure function of (pattern, PlannerConfig), which is what
-// makes plans cacheable and shareable across Solvers and threads.
+// across api::Solver and the executors: it runs the inspector (the
+// near-linear single-transpose cold pipeline of inspect_cholesky_planned),
+// builds the level-set schedule when the parallel gates clear, and commits
+// to one ExecutionPath with the profitability evidence recorded in the
+// plan. Planning is a pure function of (pattern, PlannerConfig), which is
+// what makes plans cacheable and shareable across Solvers and threads.
+//
+// A finished plan has two kinds of consumer: the interpreters (executors
+// and the parallel level-set sweeps) read its sets from memory, and the
+// PlanCompiler (plan_compiler.h) lowers the same sets into
+// pattern-specialized compiled kernels — the evidence records which plans
+// are eligible for the latter (jit_eligible), and summary() reports the
+// slot's dynamic compile state.
 #pragma once
 
 #include <span>

@@ -50,6 +50,17 @@ void TriSolveExecutor::solve(std::span<value_t> x) const {
                  "trisolve executor: size mismatch");
   // Pure plan dispatch: the path was decided at plan time. ParallelTriSolve
   // plans run the pruned interpretation when executed sequentially here.
+  // A published plan-compiled kernel (plan_compiler.h) takes over the whole
+  // solve — it reads the same L arrays and the same tail scratch, so
+  // adopting it costs one mutex peek and no allocation, and it is pinned
+  // bit-identical to the interpreters below.
+  if (const auto kernel = plan_->jit->kernel()) {
+    const Workspace::Borrow guard(ws_);
+    kernel->entry<PlanTriSolveFn>()(l_->colptr.data(), l_->rowind.data(),
+                                    l_->values.data(), x.data(),
+                                    ws_.tail().data());
+    return;
+  }
   if (plan_->path == ExecutionPath::BlockedTriSolve) {
     const Workspace::Borrow guard(ws_);
     solve_blocked(x);
