@@ -18,8 +18,11 @@
 // Section 4 — level-set parallel trisolve (OpenMP builds). The retired
 // atomic wavefront (kept here, and only here, as the baseline — the
 // library no longer contains any omp atomic) against the level-private
-// deterministic scheme, plus the packed multi-RHS level sweep at growing
-// block widths.
+// deterministic scheme and its coarsened rewrites — flat schedule vs
+// chain-fused vs chains+SIMD-bundles (all bit-identical; the ablation
+// measures pure scheduling) — plus the packed multi-RHS level sweep and
+// the chain-heavy banded tiny-level regime where fusion collapses
+// thousands of barriers.
 //
 // Results print as tables and land in BENCH_kernels.json for the per-PR
 // perf artifact. `--smoke` runs a reduced shape set with short reps (CI).
@@ -36,6 +39,7 @@
 #include "blas/kernels.h"
 #include "gen/generators.h"
 #include "parallel/levelset.h"
+#include "parallel/schedule.h"
 #include "util/timer.h"
 
 using namespace sympiler;
@@ -350,6 +354,17 @@ std::vector<ParTriRow> bench_parallel_trisolve(bool smoke) {
   if (plan->path != core::ExecutionPath::ParallelTriSolve)
     return {};  // sequential build: the planner never opens the path
 
+  // Coarsening ablation variants of the same plan: the planner-built
+  // `plan` carries chains + SIMD bundles; `flat` drops the aggregate
+  // schedule (flat level sweep), `chains` re-coarsens with bundling off.
+  // All three interpret identical slot maps, so the rows isolate the
+  // scheduling rewrite.
+  core::TriSolvePlan flat = *plan;
+  flat.agg = parallel::AggregateSchedule{};
+  core::TriSolvePlan chains = *plan;
+  chains.agg = parallel::coarsen_schedule_columns(
+      l, plan->schedule, parallel::CoarsenOptions{true, false});
+
   const int reps = smoke ? 3 : 5;
   std::vector<ParTriRow> rows;
   const std::vector<value_t> b = random_vec(static_cast<std::size_t>(n));
@@ -375,14 +390,23 @@ std::vector<ParTriRow> bench_parallel_trisolve(bool smoke) {
        serial_seconds / atomic_seconds});
 
   core::Workspace ws;
-  const double private_seconds = bench::median_seconds(
-      [&] {
-        std::memcpy(x.data(), b.data(), x.size() * sizeof(value_t));
-        parallel::parallel_trisolve(l, *plan, x, ws);
-      },
-      reps);
-  rows.push_back({"level-private", n, 1, private_seconds,
-                  serial_seconds / private_seconds});
+  const auto time_scheme = [&](const core::TriSolvePlan& p) {
+    return bench::median_seconds(
+        [&] {
+          std::memcpy(x.data(), b.data(), x.size() * sizeof(value_t));
+          parallel::parallel_trisolve(l, p, x, ws);
+        },
+        reps);
+  };
+  const double flat_seconds = time_scheme(flat);
+  rows.push_back({"level-private (flat)", n, 1, flat_seconds,
+                  serial_seconds / flat_seconds});
+  const double chain_seconds = time_scheme(chains);
+  rows.push_back({"chain-fused", n, 1, chain_seconds,
+                  serial_seconds / chain_seconds});
+  const double coarse_seconds = time_scheme(*plan);
+  rows.push_back({"chains+bundles", n, 1, coarse_seconds,
+                  serial_seconds / coarse_seconds});
 
   for (const index_t nrhs : {8, 32}) {
     const std::vector<value_t> base =
@@ -394,7 +418,7 @@ std::vector<ParTriRow> bench_parallel_trisolve(bool smoke) {
           parallel::parallel_trisolve_batch(l, *plan, xs, nrhs, ws);
         },
         reps);
-    rows.push_back({"level-private-multi", n, nrhs, batch_seconds,
+    rows.push_back({"coarsened-multi", n, nrhs, batch_seconds,
                     serial_seconds / (batch_seconds / nrhs)});
   }
 
@@ -415,6 +439,11 @@ std::vector<ParTriRow> bench_parallel_trisolve(bool smoke) {
         core::Planner(pc).plan_trisolve(lb, bbeta, nullptr,
                                         /*with_key=*/false));
     if (bplan->path == core::ExecutionPath::ParallelTriSolve) {
+      core::TriSolvePlan bflat = *bplan;
+      bflat.agg = parallel::AggregateSchedule{};
+      core::TriSolvePlan bchains = *bplan;
+      bchains.agg = parallel::coarsen_schedule_columns(
+          lb, bplan->schedule, parallel::CoarsenOptions{true, false});
       const std::vector<value_t> bb =
           random_vec(static_cast<std::size_t>(lb.cols()));
       std::vector<value_t> bx(bb.size());
@@ -427,14 +456,23 @@ std::vector<ParTriRow> bench_parallel_trisolve(bool smoke) {
           reps);
       rows.push_back({"serial-pruned (banded)", lb.cols(), 1, bserial_seconds,
                       1.0});
-      const double btiny_seconds = bench::median_seconds(
-          [&] {
-            std::memcpy(bx.data(), bb.data(), bx.size() * sizeof(value_t));
-            parallel::parallel_trisolve(lb, *bplan, bx, ws);
-          },
-          reps);
-      rows.push_back({"level-private (banded, tiny levels)", lb.cols(), 1,
-                      btiny_seconds, bserial_seconds / btiny_seconds});
+      const auto btime = [&](const core::TriSolvePlan& p) {
+        return bench::median_seconds(
+            [&] {
+              std::memcpy(bx.data(), bb.data(), bx.size() * sizeof(value_t));
+              parallel::parallel_trisolve(lb, p, bx, ws);
+            },
+            reps);
+      };
+      const double bflat_seconds = btime(bflat);
+      rows.push_back({"flat (banded tiny-lvl)", lb.cols(), 1, bflat_seconds,
+                      bserial_seconds / bflat_seconds});
+      const double bchain_seconds = btime(bchains);
+      rows.push_back({"chain-fused (banded)", lb.cols(), 1, bchain_seconds,
+                      bserial_seconds / bchain_seconds});
+      const double bcoarse_seconds = btime(*bplan);
+      rows.push_back({"chains+bundles (banded)", lb.cols(), 1, bcoarse_seconds,
+                      bserial_seconds / bcoarse_seconds});
     }
   }
   return rows;
@@ -570,17 +608,17 @@ int main(int argc, char** argv) {
                 r.nrhs, r.looped_seconds, r.blocked_seconds, r.speedup());
 
   std::printf(
-      "\n== level-set parallel trisolve: atomic vs level-private, "
-      "1 vs multi RHS ==\n");
+      "\n== level-set parallel trisolve: flat vs chain-fused vs "
+      "chains+bundles ==\n");
   const std::vector<ParTriRow> partri = bench_parallel_trisolve(smoke);
   if (partri.empty()) {
     std::printf("(skipped: built without OpenMP — no parallel plan)\n");
   } else {
-    std::printf("%-22s %7s %6s   %10s %22s\n", "scheme", "n", "nrhs",
+    std::printf("%-26s %7s %6s   %10s %22s\n", "scheme", "n", "nrhs",
                 "seconds", "per-RHS vs serial");
-    bench::print_rule(74);
+    bench::print_rule(78);
     for (const ParTriRow& r : partri)
-      std::printf("%-22s %7d %6d   %10.6f %21.2fx\n", r.scheme.c_str(), r.n,
+      std::printf("%-26s %7d %6d   %10.6f %21.2fx\n", r.scheme.c_str(), r.n,
                   r.nrhs, r.seconds, r.per_rhs_vs_serial);
   }
 

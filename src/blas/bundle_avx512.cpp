@@ -1,0 +1,8 @@
+// AVX-512 bundle kernel TU: the shared body compiled -mavx512f -mno-fma
+// (flags applied in CMakeLists.txt when the compiler supports them;
+// without them this TU is baseline code and the tier is merely
+// redundant, never wrong). Reached only through the cpuid-gated
+// dispatcher in bundle_scalar.cpp.
+#define SYMPILER_BUNDLE_FN trisolve_bundle_avx512
+#include "blas/bundle_impl.inc"
+#undef SYMPILER_BUNDLE_FN

@@ -1,0 +1,95 @@
+// Baseline-ISA bundle kernel TU, plus the ref twin and the runtime ISA
+// dispatcher (see blas/bundle.h). This TU carries no vector flags, so the
+// scalar tier is safe on every x86-64 (and non-x86) machine; the wider
+// tiers live in bundle_avx2.cpp / bundle_avx512.cpp and are only ever
+// reached through the cpuid-gated dispatch below.
+#include <atomic>
+
+#define SYMPILER_BUNDLE_FN trisolve_bundle_scalar
+#include "blas/bundle_impl.inc"
+#undef SYMPILER_BUNDLE_FN
+
+namespace sympiler::blas {
+
+namespace {
+
+BundleIsa detect_best() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx512f")) return BundleIsa::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return BundleIsa::kAvx2;
+#endif
+  return BundleIsa::kScalar;
+}
+
+/// Forced tier, or -1 for auto (best supported). Relaxed is enough: any
+/// published value is a valid tier and every tier is bit-identical.
+std::atomic<int> g_forced{-1};
+
+using BundleFn = void (*)(index_t, index_t, index_t, const index_t*,
+                          const index_t*, const value_t*, const index_t*,
+                          const index_t*, value_t*, value_t*);
+
+constexpr BundleFn kTiers[] = {detail::trisolve_bundle_scalar,
+                               detail::trisolve_bundle_avx2,
+                               detail::trisolve_bundle_avx512};
+
+}  // namespace
+
+const char* to_string(BundleIsa isa) {
+  switch (isa) {
+    case BundleIsa::kScalar: return "scalar";
+    case BundleIsa::kAvx2: return "avx2";
+    case BundleIsa::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+BundleIsa bundle_isa_best() {
+  // cpuid once, at first use — not at the build host's mercy.
+  static const BundleIsa best = detect_best();
+  return best;
+}
+
+BundleIsa bundle_isa_active() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  return forced < 0 ? bundle_isa_best() : static_cast<BundleIsa>(forced);
+}
+
+BundleIsa bundle_isa_force(BundleIsa isa) {
+  // Clamp to the best supported tier: an unsupported forced tier would
+  // fault on its first vector instruction, so the force degrades instead.
+  if (static_cast<int>(isa) > static_cast<int>(bundle_isa_best()))
+    isa = bundle_isa_best();
+  g_forced.store(static_cast<int>(isa), std::memory_order_relaxed);
+  return isa;
+}
+
+void trisolve_bundle(index_t lanes, index_t incount, index_t outcount,
+                     const index_t* cols, const index_t* colptr,
+                     const value_t* Lx, const index_t* slot,
+                     const index_t* row_ptr, value_t* x, value_t* terms) {
+  kTiers[static_cast<int>(bundle_isa_active())](lanes, incount, outcount, cols,
+                                                colptr, Lx, slot, row_ptr, x,
+                                                terms);
+}
+
+void trisolve_bundle_ref(index_t lanes, index_t incount, index_t outcount,
+                         const index_t* cols, const index_t* colptr,
+                         const value_t* Lx, const index_t* slot,
+                         const index_t* row_ptr, value_t* x, value_t* terms) {
+  // Lanes in series, each the exact scalar solve_column sequence — the
+  // contract every dispatch tier is pinned against.
+  for (index_t v = 0; v < lanes; ++v) {
+    const index_t j = cols[v];
+    const index_t r0 = row_ptr[j];
+    value_t xj = x[j];
+    for (index_t q = 0; q < incount; ++q) xj -= terms[r0 + q];
+    const index_t p0 = colptr[j];
+    xj /= Lx[p0];
+    x[j] = xj;
+    for (index_t p = 0; p < outcount; ++p)
+      terms[slot[p0 - j + p]] = Lx[p0 + 1 + p] * xj;
+  }
+}
+
+}  // namespace sympiler::blas

@@ -52,6 +52,9 @@ struct PlanEvidence {
   index_t supernodes = 0;             ///< block-set size
   index_t levels = 0;                 ///< level-set depth (0 = no schedule)
   double avg_level_width = 0.0;       ///< items per level
+  index_t agg_levels = 0;             ///< coarsened barrier count (0 = flat)
+  index_t agg_tasks = 0;              ///< chains + bundles after coarsening
+  index_t agg_bundles = 0;            ///< lock-step SIMD bundles among tasks
   double build_seconds = 0.0;         ///< wall time spent planning (cost to
                                       ///< recompute; weighs eviction)
   /// Whether the facades may lower this plan to a compiled kernel
@@ -77,6 +80,13 @@ struct CholeskyPlan {
   /// ParallelSupernodal. Makes the level-set batch solve deterministic
   /// without atomics.
   parallel::UpdateSlotMap solve_update_map;
+  /// Dependence-coarsened rewrite of `schedule` (chain fusion over the
+  /// supernodal update dependences); empty unless path ==
+  /// ParallelSupernodal and coarsening is enabled. When non-empty the
+  /// parallel executors interpret it instead of the flat schedule; the
+  /// flat schedule stays in the plan as the coarsener's provenance and
+  /// for ablation benchmarks.
+  parallel::AggregateSchedule agg;
   ExecutionPath path = ExecutionPath::Simplicial;
   PlanEvidence evidence;
   /// Numeric scratch sizes this plan implies (executors size their
@@ -93,7 +103,7 @@ struct CholeskyPlan {
   /// the resident entry so eviction drops the artifact with its plan.
   [[nodiscard]] std::size_t bytes() const {
     return sizeof(CholeskyPlan) + sets.bytes() + schedule.bytes() +
-           solve_update_map.bytes() + jit->bytes();
+           agg.bytes() + solve_update_map.bytes() + jit->bytes();
   }
 
   /// One-paragraph human summary (CLI --explain).
@@ -113,6 +123,12 @@ struct TriSolvePlan {
   /// into these instead of racing on x, so it is bit-identical to the
   /// serial pruned solve at any thread count.
   parallel::UpdateSlotMap update_map;
+  /// Dependence-coarsened rewrite of `schedule` (chain fusion + SIMD row
+  /// bundles over DG_L); empty unless path == ParallelTriSolve and
+  /// coarsening is enabled. Interpreted in place of the flat schedule
+  /// when non-empty (parallel/levelset.h); the flat schedule is retained
+  /// for ablation and evidence.
+  parallel::AggregateSchedule agg;
   ExecutionPath path = ExecutionPath::PrunedTriSolve;
   PlanEvidence evidence;
   /// Numeric scratch sizes this plan implies.
@@ -122,7 +138,7 @@ struct TriSolvePlan {
 
   [[nodiscard]] std::size_t bytes() const {
     return sizeof(TriSolvePlan) + sets.bytes() + schedule.bytes() +
-           update_map.bytes() + jit->bytes();
+           agg.bytes() + update_map.bytes() + jit->bytes();
   }
 
   [[nodiscard]] std::string summary() const;

@@ -140,6 +140,9 @@ struct CholeskyPlanRequest {
   bool build_schedule = false;
   index_t parallel_min_supernodes = 0;
   double parallel_min_avg_level_width = 0.0;
+  /// Also coarsen a committed schedule into the aggregate (chain-fused)
+  /// form — see parallel/schedule.h.
+  bool coarsen = false;
   /// Use the retained naive reference pipeline: symbolic_cholesky_naive
   /// plus strictly serial assembly. The equivalence tests pin the fast
   /// path bit-identical to this.
@@ -153,6 +156,9 @@ struct CholeskyPlanProducts {
   bool committed = false;  ///< level-width gate passed; slot map built
   parallel::LevelSchedule schedule;
   parallel::UpdateSlotMap solve_update_map;
+  /// Dependence-coarsened rewrite of `schedule` (empty unless committed
+  /// and the request asked to coarsen).
+  parallel::AggregateSchedule agg;
 };
 
 /// Planner entry point: the near-linear cold pipeline. One shared

@@ -39,6 +39,11 @@ struct PlannerConfig {
   /// enough average levels to beat the barrier cost per level.
   index_t parallel_min_supernodes = 256;
   double parallel_min_avg_level_width = 8.0;
+  /// Rewrite committed parallel schedules into the dependence-coarsened
+  /// AggregateSchedule (chain fusion + SIMD row bundles — see
+  /// parallel/schedule.h). Off keeps the flat schedule, which the bench
+  /// ablations and bit-identity tests compare against.
+  bool coarsen_schedule = true;
 };
 
 class Planner {

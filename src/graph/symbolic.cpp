@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#ifdef SYMPILER_HAS_OPENMP
+#include <omp.h>
+#endif
+
 #include "graph/etree.h"
 #include "sparse/ops.h"
 
@@ -117,6 +121,71 @@ CscMatrix cholesky_fill_pattern(const CscMatrix& upper,
   if (row_offdiag != nullptr)
     row_offdiag->assign(static_cast<std::size_t>(n), 0);
 
+#ifdef SYMPILER_HAS_OPENMP
+  // Parallel fused sweep: the serial loop below writes column v's rows in
+  // ascending row order — a pure pattern property — so contiguous row
+  // chunks can count (pass 1), prefix-sum per-column write cursors, and
+  // write (pass 2) independently, producing the byte-identical arrays.
+  // Each chunk re-climbs the etree in pass 2; stamps are globally unique
+  // row ids (pass 2 offsets them by n), so one mark array per thread
+  // serves every chunk and both passes without resets.
+  const auto nchunks = static_cast<index_t>(omp_get_max_threads());
+  constexpr index_t kParallelFillMinCols = 2048;
+  if (nchunks > 1 && n >= kParallelFillMinCols) {
+    const index_t chunk = (n + nchunks - 1) / nchunks;
+    std::vector<index_t> counts(static_cast<std::size_t>(nchunks) * n, 0);
+#pragma omp parallel
+    {
+      std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
+#pragma omp for schedule(static, 1)
+      for (index_t c = 0; c < nchunks; ++c) {
+        index_t* cnt = counts.data() + static_cast<std::size_t>(c) * n;
+        const index_t r1 = std::min(n, (c + 1) * chunk);
+        for (index_t i = c * chunk; i < r1; ++i) {
+          mark[i] = i;
+          index_t emitted = 0;
+          for (index_t p = upper.col_begin(i); p < upper.col_end(i); ++p)
+            for (index_t v = upper.rowind[p];
+                 v != -1 && v < i && mark[v] != i; v = parent[v]) {
+              mark[v] = i;
+              ++cnt[v];
+              ++emitted;
+            }
+          if (row_offdiag != nullptr) (*row_offdiag)[i] = emitted;
+        }
+      }
+      // Turn per-chunk counts into write cursors: chunk c's rows of column
+      // v start after the diagonal plus every earlier chunk's rows —
+      // exactly where the ascending serial sweep would put them.
+#pragma omp for schedule(static)
+      for (index_t v = 0; v < n; ++v) {
+        index_t cur = lp.colptr[v] + 1;
+        for (index_t c = 0; c < nchunks; ++c) {
+          const index_t cc = counts[static_cast<std::size_t>(c) * n + v];
+          counts[static_cast<std::size_t>(c) * n + v] = cur;
+          cur += cc;
+        }
+        lp.rowind[lp.colptr[v]] = v;  // diagonal of column v first
+      }
+#pragma omp for schedule(static, 1)
+      for (index_t c = 0; c < nchunks; ++c) {
+        index_t* cursor = counts.data() + static_cast<std::size_t>(c) * n;
+        const index_t r1 = std::min(n, (c + 1) * chunk);
+        for (index_t i = c * chunk; i < r1; ++i) {
+          const index_t tag = i + n;  // distinct from this row's pass-1 stamp
+          mark[i] = tag;
+          for (index_t p = upper.col_begin(i); p < upper.col_end(i); ++p)
+            for (index_t v = upper.rowind[p];
+                 v != -1 && v < i && mark[v] != tag; v = parent[v]) {
+              mark[v] = tag;
+              lp.rowind[cursor[v]++] = i;
+            }
+        }
+      }
+    }
+    return lp;
+  }
+#endif
   std::vector<index_t> next(lp.colptr.begin(), lp.colptr.end() - 1);
   std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
   for (index_t i = 0; i < n; ++i) {

@@ -7,6 +7,7 @@
 #include <omp.h>
 #endif
 
+#include "blas/bundle.h"
 #include "blas/kernels.h"
 #include "core/execution_plan.h"
 #include "core/workspace.h"
@@ -124,7 +125,11 @@ UpdateSlotMap update_slots_columns(const CscMatrix& l,
   SYMPILER_CHECK(order.empty() || static_cast<index_t>(order.size()) == n,
                  "update_slots_columns: order must cover every column");
   UpdateSlotMap m;
-  m.slot.assign(static_cast<std::size_t>(l.nnz()), -1);
+  // Compact layout: diagonal positions can never produce a cross-column
+  // update, so they are squeezed out instead of holding -1 — position p of
+  // column j maps to p - j - 1 (see UpdateSlotMap::slot). Every compact
+  // entry is written below, so no fill value is needed.
+  m.slot.resize(static_cast<std::size_t>(l.nnz() - n));
   m.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
   for (index_t j = 0; j < n; ++j)
     for (index_t p = l.col_begin(j) + 1; p < l.col_end(j); ++p)
@@ -137,7 +142,7 @@ UpdateSlotMap update_slots_columns(const CscMatrix& l,
   for (index_t k = 0; k < n; ++k) {
     const index_t j = order.empty() ? k : order[k];
     for (index_t p = l.col_begin(j) + 1; p < l.col_end(j); ++p)
-      m.slot[p] = next[l.rowind[p]]++;
+      m.slot[p - j - 1] = next[l.rowind[p]]++;
   }
   return m;
 }
@@ -145,7 +150,12 @@ UpdateSlotMap update_slots_columns(const CscMatrix& l,
 UpdateSlotMap update_slots_supernodes(const solvers::SupernodalLayout& layout) {
   const index_t n = layout.n;
   UpdateSlotMap m;
-  m.slot.assign(layout.srows.size(), -1);
+  // Compact layout: a supernode's own diagonal-block rows never produce a
+  // cross-supernode update, so they are squeezed out — srows position
+  // srow_ptr[s] + u (u >= width(s)) maps to srow_ptr[s] + u - sn.start[s]
+  // - width(s), valid because the block rows of supernodes 0..s sum to
+  // exactly sn.start[s] + width(s). Every compact entry is written below.
+  m.slot.resize(layout.srows.size() - static_cast<std::size_t>(n));
   m.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
   for (index_t s = 0; s < layout.nsuper(); ++s) {
     const index_t w = layout.width(s);
@@ -156,8 +166,9 @@ UpdateSlotMap update_slots_supernodes(const solvers::SupernodalLayout& layout) {
   std::vector<index_t> next(m.row_ptr.begin(), m.row_ptr.end() - 1);
   for (index_t s = 0; s < layout.nsuper(); ++s) {
     const index_t w = layout.width(s);
+    const index_t base = layout.sn.start[s] + w;
     for (index_t t = layout.srow_ptr[s] + w; t < layout.srow_ptr[s + 1]; ++t)
-      m.slot[t] = next[layout.srows[t]]++;
+      m.slot[t - base] = next[layout.srows[t]]++;
   }
   return m;
 }
@@ -188,12 +199,61 @@ void parallel_trisolve(const CscMatrix& l, const LevelSchedule& schedule,
       xj /= Lx[p0];
       xp[j] = xj;
       // Scatter this column's updates into its plan-assigned private
-      // slots; no two columns share a slot, so no atomics are needed.
+      // slots (compact off-diagonal indexing: position p maps to
+      // p - j - 1); no two columns share a slot, so no atomics are needed.
       for (index_t p = p0 + 1; p < l.col_end(j); ++p)
-        tp[slot[p]] = Lx[p] * xj;
+        tp[slot[p - j - 1]] = Lx[p] * xj;
     };
     run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
               solve_column);
+  }
+}
+
+void parallel_trisolve(const CscMatrix& l, const AggregateSchedule& agg,
+                       const UpdateSlotMap& umap, std::span<value_t> x,
+                       std::span<value_t> terms) {
+  const value_t* Lx = l.values.data();
+  const index_t* colptr = l.colptr.data();
+  const index_t* slot = umap.slot.data();
+  const index_t* rptr = umap.row_ptr.data();
+  value_t* xp = x.data();
+  value_t* tp = terms.data();
+  // Same region/barrier structure as the flat interpreter, but the
+  // worksharing unit is a task: a fused chain runs its members in flat-
+  // level order on one thread (the chain's internal barriers are gone),
+  // and a bundle solves its lanes lock-step in the ISA-dispatched kernel.
+  // Slot fold order is untouched, so results stay bit-identical to the
+  // serial solve at any thread count.
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp parallel
+#endif
+  for (index_t lev = 0; lev < agg.levels(); ++lev) {
+    const auto run_task = [&](index_t t) {
+      const index_t k0 = agg.task_ptr[t];
+      const index_t k1 = agg.task_ptr[t + 1];
+      if (agg.bundle[t]) {
+        // All lanes share one (incoming-term, update) shape — the
+        // coarsener grouped by it — so the counts of the first lane
+        // describe every lane.
+        const index_t j0 = agg.items[k0];
+        blas::trisolve_bundle(k1 - k0, rptr[j0 + 1] - rptr[j0],
+                              colptr[j0 + 1] - colptr[j0] - 1,
+                              agg.items.data() + k0, colptr, Lx, slot, rptr,
+                              xp, tp);
+        return;
+      }
+      for (index_t k = k0; k < k1; ++k) {
+        const index_t j = agg.items[k];
+        value_t xj = xp[j];
+        for (index_t q = rptr[j]; q < rptr[j + 1]; ++q) xj -= tp[q];
+        const index_t p0 = colptr[j];
+        xj /= Lx[p0];
+        xp[j] = xj;
+        for (index_t p = p0 + 1; p < colptr[j + 1]; ++p)
+          tp[slot[p - j - 1]] = Lx[p] * xj;
+      }
+    };
+    run_level(agg.level_ptr[lev], agg.level_ptr[lev + 1], run_task);
   }
 }
 
@@ -219,12 +279,49 @@ void parallel_trisolve_multi(const CscMatrix& l, const LevelSchedule& schedule,
       for (index_t r = 0; r < nrhs; ++r) xj[r] /= piv;
       for (index_t p = p0 + 1; p < l.col_end(j); ++p) {
         const value_t lv = Lx[p];
-        value_t* tq = terms + static_cast<std::int64_t>(slot[p]) * ldp;
+        value_t* tq = terms + static_cast<std::int64_t>(slot[p - j - 1]) * ldp;
         for (index_t r = 0; r < nrhs; ++r) tq[r] = lv * xj[r];
       }
     };
     run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
               solve_column);
+  }
+}
+
+void parallel_trisolve_multi(const CscMatrix& l, const AggregateSchedule& agg,
+                             const UpdateSlotMap& umap, value_t* xp,
+                             index_t nrhs, index_t ldp, value_t* terms) {
+  const value_t* Lx = l.values.data();
+  const index_t* colptr = l.colptr.data();
+  const index_t* slot = umap.slot.data();
+  const index_t* rptr = umap.row_ptr.data();
+  // Chain fusion still pays here (fewer barriers), but bundles degenerate
+  // to sequential lanes: the RHS loop is already the vector direction, and
+  // serial lanes are bit-identical to lock-step by the bundle contract.
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp parallel
+#endif
+  for (index_t lev = 0; lev < agg.levels(); ++lev) {
+    const auto run_task = [&](index_t t) {
+      for (index_t k = agg.task_ptr[t]; k < agg.task_ptr[t + 1]; ++k) {
+        const index_t j = agg.items[k];
+        value_t* xj = xp + static_cast<std::int64_t>(j) * ldp;
+        for (index_t q = rptr[j]; q < rptr[j + 1]; ++q) {
+          const value_t* tq = terms + static_cast<std::int64_t>(q) * ldp;
+          for (index_t r = 0; r < nrhs; ++r) xj[r] -= tq[r];
+        }
+        const index_t p0 = colptr[j];
+        const value_t piv = Lx[p0];
+        for (index_t r = 0; r < nrhs; ++r) xj[r] /= piv;
+        for (index_t p = p0 + 1; p < colptr[j + 1]; ++p) {
+          const value_t lv = Lx[p];
+          value_t* tq =
+              terms + static_cast<std::int64_t>(slot[p - j - 1]) * ldp;
+          for (index_t r = 0; r < nrhs; ++r) tq[r] = lv * xj[r];
+        }
+      }
+    };
+    run_level(agg.level_ptr[lev], agg.level_ptr[lev + 1], run_task);
   }
 }
 
@@ -235,7 +332,10 @@ void parallel_trisolve(const CscMatrix& l, const core::TriSolvePlan& plan,
   core::WorkspaceDims dims = plan.workspace;
   dims.rhs_block = 0;  // single RHS: terms buffer only, no packed block
   ws.ensure(dims);
-  parallel_trisolve(l, plan.schedule, plan.update_map, x, ws.terms());
+  if (!plan.agg.empty())
+    parallel_trisolve(l, plan.agg, plan.update_map, x, ws.terms());
+  else
+    parallel_trisolve(l, plan.schedule, plan.update_map, x, ws.terms());
 }
 
 void parallel_trisolve_batch(const CscMatrix& l, const core::TriSolvePlan& plan,
@@ -258,15 +358,25 @@ void parallel_trisolve_batch(const CscMatrix& l, const core::TriSolvePlan& plan,
     const index_t nb = std::min(bw, nrhs - r0);
     value_t* x0 = xs.data() + static_cast<std::size_t>(r0) * n;
     blas::pack_rhs(n, nb, x0, n, xp, nb);
-    parallel_trisolve_multi(l, plan.schedule, plan.update_map, xp, nb, nb,
-                            terms);
+    if (!plan.agg.empty())
+      parallel_trisolve_multi(l, plan.agg, plan.update_map, xp, nb, nb, terms);
+    else
+      parallel_trisolve_multi(l, plan.schedule, plan.update_map, xp, nb, nb,
+                              terms);
     blas::unpack_rhs(n, nb, xp, nb, x0, n);
   }
 }
 
-void parallel_cholesky(const core::CholeskySets& sets,
-                       const LevelSchedule& schedule,
-                       const CscMatrix& a_lower, std::span<value_t> panels) {
+namespace {
+
+/// Shared body of the flat and aggregate parallel Cholesky sweeps: one of
+/// `flat` / `agg` is non-null and supplies the level structure. With an
+/// aggregate schedule the worksharing unit is a fused chain of supernodes
+/// executed in flat-level order on one thread (update sources of a chain
+/// member are either earlier members or earlier aggregate levels).
+void cholesky_levels(const core::CholeskySets& sets, const LevelSchedule* flat,
+                     const AggregateSchedule* agg, const CscMatrix& a_lower,
+                     std::span<value_t> panels) {
   const solvers::SupernodalLayout& layout = sets.layout;
   // Plan-sized scratch dimensions (pure layout reads); each OS thread
   // keeps one grow-only workspace across calls and plans, so a warm
@@ -288,51 +398,75 @@ void parallel_cholesky(const core::CholeskySets& sets,
     const std::span<index_t> map_span = ws.map();
     value_t* const work_data = work_span.data();
     index_t* const map_data = map_span.data();
-    for (index_t lev = 0; lev < schedule.levels(); ++lev) {
-      const auto factor_supernode = [&](index_t t) {
-        const index_t s = schedule.items[t];
-        const index_t c1 = layout.sn.start[s];
-        const index_t w = layout.width(s);
-        const index_t m = layout.nrows(s);
-        const index_t* rows = layout.srows.data() + layout.srow_ptr[s];
-        value_t* panel = panels.data() + layout.panel_ptr[s];
-        for (index_t r = 0; r < m; ++r) map_data[rows[r]] = r;
-        for (index_t u = sets.updates.ptr[s]; u < sets.updates.ptr[s + 1];
-             ++u) {
-          const solvers::UpdateRef ref = sets.updates.refs[u];
-          const index_t* drows = layout.srows.data() + layout.srow_ptr[ref.d];
-          const index_t dm = layout.nrows(ref.d);
-          const index_t dw = layout.width(ref.d);
-          const value_t* dpanel = panels.data() + layout.panel_ptr[ref.d];
-          const index_t mu = dm - ref.p1;
-          const index_t nu = ref.p2 - ref.p1;
-          std::fill(work_data, work_data + static_cast<std::int64_t>(mu) * nu,
-                    0.0);
-          blas::gemm_nt_minus(mu, nu, dw, dpanel + ref.p1, dm,
-                              dpanel + ref.p1, dm, work_data, mu);
-          for (index_t cj = 0; cj < nu; ++cj) {
-            value_t* dst =
-                panel + static_cast<std::int64_t>(drows[ref.p1 + cj] - c1) * m;
-            const value_t* src = work_data + static_cast<std::int64_t>(cj) * mu;
-            for (index_t r = cj; r < mu; ++r)
-              dst[map_data[drows[ref.p1 + r]]] += src[r];
-          }
+    const auto factor_supernode = [&](index_t s) {
+      const index_t c1 = layout.sn.start[s];
+      const index_t w = layout.width(s);
+      const index_t m = layout.nrows(s);
+      const index_t* rows = layout.srows.data() + layout.srow_ptr[s];
+      value_t* panel = panels.data() + layout.panel_ptr[s];
+      for (index_t r = 0; r < m; ++r) map_data[rows[r]] = r;
+      for (index_t u = sets.updates.ptr[s]; u < sets.updates.ptr[s + 1]; ++u) {
+        const solvers::UpdateRef ref = sets.updates.refs[u];
+        const index_t* drows = layout.srows.data() + layout.srow_ptr[ref.d];
+        const index_t dm = layout.nrows(ref.d);
+        const index_t dw = layout.width(ref.d);
+        const value_t* dpanel = panels.data() + layout.panel_ptr[ref.d];
+        const index_t mu = dm - ref.p1;
+        const index_t nu = ref.p2 - ref.p1;
+        std::fill(work_data, work_data + static_cast<std::int64_t>(mu) * nu,
+                  0.0);
+        blas::gemm_nt_minus(mu, nu, dw, dpanel + ref.p1, dm, dpanel + ref.p1,
+                            dm, work_data, mu);
+        for (index_t cj = 0; cj < nu; ++cj) {
+          value_t* dst =
+              panel + static_cast<std::int64_t>(drows[ref.p1 + cj] - c1) * m;
+          const value_t* src = work_data + static_cast<std::int64_t>(cj) * mu;
+          for (index_t r = cj; r < mu; ++r)
+            dst[map_data[drows[ref.p1 + r]]] += src[r];
         }
-        blas::potrf_lower(w, panel, m);
-        if (m > w)
-          blas::trsm_right_lower_trans(m - w, w, panel, m, panel + w, m);
-      };
-      run_level_dynamic(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
-                        factor_supernode);
+      }
+      blas::potrf_lower(w, panel, m);
+      if (m > w)
+        blas::trsm_right_lower_trans(m - w, w, panel, m, panel + w, m);
+    };
+    if (agg != nullptr) {
+      for (index_t lev = 0; lev < agg->levels(); ++lev)
+        run_level_dynamic(agg->level_ptr[lev], agg->level_ptr[lev + 1],
+                          [&](index_t t) {
+                            for (index_t k = agg->task_ptr[t];
+                                 k < agg->task_ptr[t + 1]; ++k)
+                              factor_supernode(agg->items[k]);
+                          });
+    } else {
+      for (index_t lev = 0; lev < flat->levels(); ++lev)
+        run_level_dynamic(flat->level_ptr[lev], flat->level_ptr[lev + 1],
+                          [&](index_t t) { factor_supernode(flat->items[t]); });
     }
   }
+}
+
+}  // namespace
+
+void parallel_cholesky(const core::CholeskySets& sets,
+                       const LevelSchedule& schedule,
+                       const CscMatrix& a_lower, std::span<value_t> panels) {
+  cholesky_levels(sets, &schedule, nullptr, a_lower, panels);
+}
+
+void parallel_cholesky(const core::CholeskySets& sets,
+                       const AggregateSchedule& agg, const CscMatrix& a_lower,
+                       std::span<value_t> panels) {
+  cholesky_levels(sets, nullptr, &agg, a_lower, panels);
 }
 
 void parallel_cholesky(const core::CholeskyPlan& plan,
                        const CscMatrix& a_lower, std::span<value_t> panels) {
   SYMPILER_CHECK(plan.path == core::ExecutionPath::ParallelSupernodal,
                  "parallel_cholesky: plan path is not ParallelSupernodal");
-  parallel_cholesky(plan.sets, plan.schedule, a_lower, panels);
+  if (!plan.agg.empty())
+    cholesky_levels(plan.sets, nullptr, &plan.agg, a_lower, panels);
+  else
+    cholesky_levels(plan.sets, &plan.schedule, nullptr, a_lower, panels);
 }
 
 namespace {
@@ -363,6 +497,7 @@ core::WorkspaceDims panel_tail_dims(index_t max_tail, index_t ldp) {
 /// contributions into its private slots instead of racing on x.
 void panel_forward_levels(const solvers::SupernodalLayout& layout,
                           const LevelSchedule& schedule,
+                          const AggregateSchedule* agg,
                           const UpdateSlotMap& umap,
                           std::span<const value_t> panels, value_t* xp,
                           index_t nrhs, index_t ldp, value_t* terms,
@@ -377,38 +512,48 @@ void panel_forward_levels(const solvers::SupernodalLayout& layout,
     core::Workspace& tls = panel_tls_workspace();
     tls.ensure(tail_dims);
     value_t* tail = tls.tail().data();
-    for (index_t lev = 0; lev < schedule.levels(); ++lev) {
-      const auto solve_supernode = [&](index_t t) {
-        const index_t s = schedule.items[t];
-        const index_t c1 = layout.sn.start[s];
-        const index_t w = layout.width(s);
-        const index_t m = layout.nrows(s);
-        const value_t* panel = panels.data() + layout.panel_ptr[s];
-        for (index_t j = c1; j < c1 + w; ++j) {
-          value_t* xj = xp + static_cast<std::int64_t>(j) * ldp;
-          for (index_t q = rptr[j]; q < rptr[j + 1]; ++q) {
-            const value_t* tq = terms + static_cast<std::int64_t>(q) * ldp;
-            for (index_t r = 0; r < nrhs; ++r) xj[r] += tq[r];
-          }
+    const auto solve_supernode = [&](index_t s) {
+      const index_t c1 = layout.sn.start[s];
+      const index_t w = layout.width(s);
+      const index_t m = layout.nrows(s);
+      const value_t* panel = panels.data() + layout.panel_ptr[s];
+      for (index_t j = c1; j < c1 + w; ++j) {
+        value_t* xj = xp + static_cast<std::int64_t>(j) * ldp;
+        for (index_t q = rptr[j]; q < rptr[j + 1]; ++q) {
+          const value_t* tq = terms + static_cast<std::int64_t>(q) * ldp;
+          for (index_t r = 0; r < nrhs; ++r) xj[r] += tq[r];
         }
-        blas::trsm_lower_multi(w, nrhs, panel, m,
-                               xp + static_cast<std::int64_t>(c1) * ldp, ldp);
-        if (m > w) {
-          std::fill(tail, tail + static_cast<std::int64_t>(m - w) * ldp, 0.0);
-          blas::gemm_minus_multi(m - w, w, nrhs, panel + w, m,
-                                 xp + static_cast<std::int64_t>(c1) * ldp, ldp,
-                                 tail, ldp);
-          for (index_t u = w; u < m; ++u) {
-            const value_t* src = tail + static_cast<std::int64_t>(u - w) * ldp;
-            value_t* dst =
-                terms +
-                static_cast<std::int64_t>(slot[layout.srow_ptr[s] + u]) * ldp;
-            for (index_t r = 0; r < nrhs; ++r) dst[r] = src[r];
-          }
+      }
+      blas::trsm_lower_multi(w, nrhs, panel, m,
+                             xp + static_cast<std::int64_t>(c1) * ldp, ldp);
+      if (m > w) {
+        std::fill(tail, tail + static_cast<std::int64_t>(m - w) * ldp, 0.0);
+        blas::gemm_minus_multi(m - w, w, nrhs, panel + w, m,
+                               xp + static_cast<std::int64_t>(c1) * ldp, ldp,
+                               tail, ldp);
+        // Compact below-diagonal slot indexing: srows position
+        // srow_ptr[s] + u maps to srow_ptr[s] + u - c1 - w.
+        const index_t sbase = layout.srow_ptr[s] - c1 - w;
+        for (index_t u = w; u < m; ++u) {
+          const value_t* src = tail + static_cast<std::int64_t>(u - w) * ldp;
+          value_t* dst =
+              terms + static_cast<std::int64_t>(slot[sbase + u]) * ldp;
+          for (index_t r = 0; r < nrhs; ++r) dst[r] = src[r];
         }
-      };
-      run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
-                solve_supernode);
+      }
+    };
+    if (agg != nullptr) {
+      for (index_t lev = 0; lev < agg->levels(); ++lev)
+        run_level(agg->level_ptr[lev], agg->level_ptr[lev + 1],
+                  [&](index_t t) {
+                    for (index_t k = agg->task_ptr[t]; k < agg->task_ptr[t + 1];
+                         ++k)
+                      solve_supernode(agg->items[k]);
+                  });
+    } else {
+      for (index_t lev = 0; lev < schedule.levels(); ++lev)
+        run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
+                  [&](index_t t) { solve_supernode(schedule.items[t]); });
     }
   }
 }
@@ -418,6 +563,7 @@ void panel_forward_levels(const solvers::SupernodalLayout& layout,
 /// ancestors, which live in strictly later levels and are already final.
 void panel_backward_levels(const solvers::SupernodalLayout& layout,
                            const LevelSchedule& schedule,
+                           const AggregateSchedule* agg,
                            std::span<const value_t> panels, value_t* xp,
                            index_t nrhs, index_t ldp, index_t max_tail) {
   const core::WorkspaceDims tail_dims = panel_tail_dims(max_tail, ldp);
@@ -428,30 +574,41 @@ void panel_backward_levels(const solvers::SupernodalLayout& layout,
     core::Workspace& tls = panel_tls_workspace();
     tls.ensure(tail_dims);
     value_t* tail = tls.tail().data();
-    for (index_t lev = schedule.levels() - 1; lev >= 0; --lev) {
-      const auto solve_supernode = [&](index_t t) {
-        const index_t s = schedule.items[t];
-        const index_t c1 = layout.sn.start[s];
-        const index_t w = layout.width(s);
-        const index_t m = layout.nrows(s);
-        const index_t* rows = layout.srows.data() + layout.srow_ptr[s];
-        const value_t* panel = panels.data() + layout.panel_ptr[s];
-        if (m > w) {
-          for (index_t u = w; u < m; ++u) {
-            const value_t* src =
-                xp + static_cast<std::int64_t>(rows[u]) * ldp;
-            value_t* dst = tail + static_cast<std::int64_t>(u - w) * ldp;
-            for (index_t r = 0; r < nrhs; ++r) dst[r] = src[r];
-          }
-          blas::gemm_trans_minus_multi(
-              m - w, w, nrhs, panel + w, m, tail, ldp,
-              xp + static_cast<std::int64_t>(c1) * ldp, ldp);
+    const auto solve_supernode = [&](index_t s) {
+      const index_t c1 = layout.sn.start[s];
+      const index_t w = layout.width(s);
+      const index_t m = layout.nrows(s);
+      const index_t* rows = layout.srows.data() + layout.srow_ptr[s];
+      const value_t* panel = panels.data() + layout.panel_ptr[s];
+      if (m > w) {
+        for (index_t u = w; u < m; ++u) {
+          const value_t* src = xp + static_cast<std::int64_t>(rows[u]) * ldp;
+          value_t* dst = tail + static_cast<std::int64_t>(u - w) * ldp;
+          for (index_t r = 0; r < nrhs; ++r) dst[r] = src[r];
         }
-        blas::trsm_lower_transpose_multi(
-            w, nrhs, panel, m, xp + static_cast<std::int64_t>(c1) * ldp, ldp);
-      };
-      run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
-                solve_supernode);
+        blas::gemm_trans_minus_multi(
+            m - w, w, nrhs, panel + w, m, tail, ldp,
+            xp + static_cast<std::int64_t>(c1) * ldp, ldp);
+      }
+      blas::trsm_lower_transpose_multi(
+          w, nrhs, panel, m, xp + static_cast<std::int64_t>(c1) * ldp, ldp);
+    };
+    if (agg != nullptr) {
+      // Backward validity needs both reversals: levels in reverse order,
+      // and items inside each chain in reverse order (a chain member's
+      // forward-dependent is either a later member of the same chain or
+      // lives at a strictly later aggregate level).
+      for (index_t lev = agg->levels() - 1; lev >= 0; --lev)
+        run_level(agg->level_ptr[lev], agg->level_ptr[lev + 1],
+                  [&](index_t t) {
+                    for (index_t k = agg->task_ptr[t + 1] - 1;
+                         k >= agg->task_ptr[t]; --k)
+                      solve_supernode(agg->items[k]);
+                  });
+    } else {
+      for (index_t lev = schedule.levels() - 1; lev >= 0; --lev)
+        run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
+                  [&](index_t t) { solve_supernode(schedule.items[t]); });
     }
   }
 }
@@ -486,9 +643,10 @@ void parallel_panel_solve_batch(const core::CholeskyPlan& plan,
     const index_t nb = std::min(bw, nrhs - r0);
     value_t* x0 = bx.data() + static_cast<std::size_t>(r0) * n;
     blas::pack_rhs(n, nb, x0, n, xp, nb);
-    panel_forward_levels(layout, plan.schedule, plan.solve_update_map, panels,
-                         xp, nb, nb, terms, plan.workspace.max_tail);
-    panel_backward_levels(layout, plan.schedule, panels, xp, nb, nb,
+    const AggregateSchedule* agg = plan.agg.empty() ? nullptr : &plan.agg;
+    panel_forward_levels(layout, plan.schedule, agg, plan.solve_update_map,
+                         panels, xp, nb, nb, terms, plan.workspace.max_tail);
+    panel_backward_levels(layout, plan.schedule, agg, panels, xp, nb, nb,
                           plan.workspace.max_tail);
     blas::unpack_rhs(n, nb, xp, nb, x0, n);
   }

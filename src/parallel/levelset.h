@@ -57,11 +57,27 @@ void parallel_trisolve(const CscMatrix& l, const LevelSchedule& schedule,
                        const UpdateSlotMap& umap, std::span<value_t> x,
                        std::span<value_t> terms);
 
+/// Coarsened-schedule variant: interprets an AggregateSchedule instead of
+/// the flat levels — fused chains run sequentially on one thread, SIMD
+/// bundles go through the ISA-dispatched bundle kernels (blas/bundle.h).
+/// Same slot map, same fold order, so still bit-identical to the serial
+/// solve at any thread count.
+void parallel_trisolve(const CscMatrix& l, const AggregateSchedule& agg,
+                       const UpdateSlotMap& umap, std::span<value_t> x,
+                       std::span<value_t> terms);
+
 /// Packed multi-RHS variant: X(i, r) at xp[r + i * ldp], nrhs <=
 /// blas::kRhsBlockMax, `terms` holds umap.slots() RHS-major rows of ldp
 /// values. Per RHS column the arithmetic is bit-identical to the
 /// single-RHS parallel_trisolve (and hence to the serial pruned solve).
 void parallel_trisolve_multi(const CscMatrix& l, const LevelSchedule& schedule,
+                             const UpdateSlotMap& umap, value_t* xp,
+                             index_t nrhs, index_t ldp, value_t* terms);
+
+/// Coarsened-schedule multi-RHS variant: chain fusion collapses barriers;
+/// bundle tasks run their lanes sequentially (the RHS loop is already the
+/// vector direction), which is bit-identical by the bundle contract.
+void parallel_trisolve_multi(const CscMatrix& l, const AggregateSchedule& agg,
                              const UpdateSlotMap& umap, value_t* xp,
                              index_t nrhs, index_t ldp, value_t* terms);
 
@@ -91,8 +107,15 @@ void parallel_cholesky(const core::CholeskySets& sets,
                        const LevelSchedule& schedule,
                        const CscMatrix& a_lower, std::span<value_t> panels);
 
+/// Coarsened-schedule variant: fused supernode chains factor sequentially
+/// on one thread, collapsing the barrier cascade of deep, narrow levels.
+void parallel_cholesky(const core::CholeskySets& sets,
+                       const AggregateSchedule& agg, const CscMatrix& a_lower,
+                       std::span<value_t> panels);
+
 /// Plan-driven interpreter: sets + schedule come from the plan (path must
-/// be ExecutionPath::ParallelSupernodal).
+/// be ExecutionPath::ParallelSupernodal); interprets the plan's coarsened
+/// schedule when present, the flat levels otherwise.
 void parallel_cholesky(const core::CholeskyPlan& plan,
                        const CscMatrix& a_lower, std::span<value_t> panels);
 

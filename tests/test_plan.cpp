@@ -5,6 +5,7 @@
 // a warm factor() does zero schedule work.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -297,12 +298,14 @@ CscMatrix racy_arrowhead_lower(index_t n) {
   return CscMatrix::from_triplets(n, n, trips);
 }
 
-std::shared_ptr<const TriSolvePlan> racy_parallel_plan(const CscMatrix& l) {
+std::shared_ptr<const TriSolvePlan> racy_parallel_plan(const CscMatrix& l,
+                                                       bool coarsen = true) {
   PlannerConfig config;
   config.options.vsblock_min_avg_size = 1e9;  // keep VS-Block out of the way
   config.enable_parallel = true;
   config.parallel_min_supernodes = 1;
   config.parallel_min_avg_level_width = 0.0;
+  config.coarsen_schedule = coarsen;
   std::vector<index_t> beta(static_cast<std::size_t>(l.cols()));
   for (index_t i = 0; i < l.cols(); ++i) beta[static_cast<std::size_t>(i)] = i;
   return std::make_shared<const TriSolvePlan>(
@@ -428,6 +431,218 @@ TEST(ParallelDeterminism, CholeskyAndBatchSolveStableAcrossThreadCounts) {
   }
 }
 
+// ----------------------- schedule coarsening (chains + SIMD bundles)
+
+/// Full-band lower-triangular matrix: column j depends on every one of the
+/// bw previous columns, so the flat level schedule is one column per level
+/// (n levels, n - 1 barriers) — the worst case chain fusion exists for.
+CscMatrix banded_full_lower(index_t n, index_t bw) {
+  std::vector<Triplet> trips;
+  for (index_t j = 0; j < n; ++j) {
+    trips.push_back({j, j, 3.0 + 0.01 * static_cast<value_t>(j)});
+    for (index_t i = j + 1; i < std::min<index_t>(n, j + bw + 1); ++i)
+      trips.push_back(
+          {i, j, 0.5 / (1.0 + static_cast<value_t>(i - j))});
+  }
+  return CscMatrix::from_triplets(n, n, trips);
+}
+
+TEST(ScheduleCoarsening, FullBandChainCollapsesToOneAggregateLevel) {
+  const index_t n = 96;
+  const CscMatrix l = banded_full_lower(n, 5);
+  const auto plan = racy_parallel_plan(l);
+  if (!Planner::parallel_enabled()) return;
+  ASSERT_EQ(plan->path, ExecutionPath::ParallelTriSolve);
+  // Flat: one column per level — the barrier cascade coarsening removes.
+  ASSERT_EQ(plan->schedule.levels(), n);
+  // Coarsened: the whole solve is one sequential chain, zero barriers.
+  const auto& agg = plan->agg;
+  ASSERT_FALSE(agg.empty());
+  EXPECT_EQ(agg.levels(), 1);
+  EXPECT_EQ(agg.tasks(), 1);
+  EXPECT_EQ(agg.bundle[0], 0);
+  ASSERT_EQ(static_cast<index_t>(agg.items.size()), n);
+  for (index_t k = 0; k < n; ++k)
+    ASSERT_EQ(agg.items[static_cast<std::size_t>(k)], k) << k;
+  EXPECT_EQ(plan->evidence.agg_levels, 1);
+  EXPECT_EQ(plan->evidence.agg_tasks, 1);
+  EXPECT_EQ(plan->evidence.agg_bundles, 0);
+}
+
+TEST(ScheduleCoarsening, ArrowheadBundlesWideLevelAndFusesSharedTail) {
+  const index_t n = 257;  // 255 independent same-shape columns = 31x8 + 7
+  const CscMatrix l = racy_arrowhead_lower(n);
+  const auto plan = racy_parallel_plan(l);
+  if (!Planner::parallel_enabled()) return;
+  const auto& agg = plan->agg;
+  ASSERT_FALSE(agg.empty());
+  ASSERT_EQ(agg.levels(), 2);
+  ASSERT_EQ(static_cast<index_t>(agg.items.size()), n);
+
+  // Level 0: the n - 2 independent columns share one sparsity shape
+  // (no incoming terms, two updates), so they coarsen into width-8 SIMD
+  // bundles plus one >= kBundleMin tail bundle — no singletons.
+  const index_t t1 = agg.level_ptr[1];
+  EXPECT_EQ(agg.task_ptr[t1] - agg.task_ptr[agg.level_ptr[0]], n - 2);
+  for (index_t t = agg.level_ptr[0]; t < t1; ++t) {
+    EXPECT_EQ(agg.bundle[static_cast<std::size_t>(t)], 1) << "task " << t;
+    const index_t w = agg.task_ptr[t + 1] - agg.task_ptr[t];
+    EXPECT_GE(w, parallel::kBundleMin) << "task " << t;
+    EXPECT_LE(w, parallel::kBundleMax) << "task " << t;
+  }
+  EXPECT_EQ(agg.bundles(), (n - 2) / parallel::kBundleMax + 1);
+
+  // Level 1: the two shared tail columns fuse into one chain — column
+  // n-1's only level-1 dependence is n-2, the chain's last member.
+  ASSERT_EQ(agg.level_ptr[2] - t1, 1);
+  EXPECT_EQ(agg.bundle[static_cast<std::size_t>(t1)], 0);
+  ASSERT_EQ(agg.task_ptr[t1 + 1] - agg.task_ptr[t1], 2);
+  EXPECT_EQ(agg.items[static_cast<std::size_t>(agg.task_ptr[t1])], n - 2);
+  EXPECT_EQ(agg.items[static_cast<std::size_t>(agg.task_ptr[t1]) + 1], n - 1);
+  EXPECT_EQ(plan->evidence.agg_bundles, agg.bundles());
+}
+
+TEST(ScheduleCoarsening, CoarsenedTrisolveBitIdenticalToFlatAndSerial) {
+  // The coarsening contract: chains, bundles, and the compacted slot map
+  // change scheduling and data movement only — at 1/2/4 threads both the
+  // coarsened and the flat interpretation must reproduce the serial
+  // solve's exact bits (ASSERT_EQ on doubles, no tolerance).
+  std::vector<CscMatrix> factors;
+  factors.push_back(racy_arrowhead_lower(257));   // bundle-heavy
+  factors.push_back(banded_full_lower(180, 7));   // chain-heavy
+  for (const CscMatrix& l : factors) {
+    const index_t n = l.cols();
+    const auto coarse = racy_parallel_plan(l, /*coarsen=*/true);
+    const auto flat = racy_parallel_plan(l, /*coarsen=*/false);
+    if (!Planner::parallel_enabled()) {
+      EXPECT_EQ(coarse->path, ExecutionPath::PrunedTriSolve);
+      return;
+    }
+    ASSERT_EQ(coarse->path, ExecutionPath::ParallelTriSolve);
+    ASSERT_EQ(flat->path, ExecutionPath::ParallelTriSolve);
+    ASSERT_FALSE(coarse->agg.empty());
+    ASSERT_TRUE(flat->agg.empty());  // coarsen_schedule=false keeps it flat
+
+    core::TriSolveExecutor serial(coarse, l);
+    const std::vector<value_t> b = gen::dense_rhs(n, 91);
+    std::vector<value_t> x_ref(b);
+    serial.solve(x_ref);
+
+    core::Workspace ws_c, ws_f;
+    for (const int threads : {1, 2, 4}) {
+#ifdef SYMPILER_HAS_OPENMP
+      omp_set_num_threads(threads);
+#endif
+      std::vector<value_t> x_c(b), x_f(b);
+      parallel::parallel_trisolve(l, *coarse, x_c, ws_c);
+      parallel::parallel_trisolve(l, *flat, x_f, ws_f);
+      for (index_t i = 0; i < n; ++i) {
+        ASSERT_EQ(x_c[static_cast<std::size_t>(i)],
+                  x_ref[static_cast<std::size_t>(i)])
+            << "coarse threads=" << threads << " row " << i;
+        ASSERT_EQ(x_f[static_cast<std::size_t>(i)],
+                  x_ref[static_cast<std::size_t>(i)])
+            << "flat threads=" << threads << " row " << i;
+      }
+      // Batch path: the coarsened multi-RHS interpreter too.
+      const index_t nrhs = 3;
+      std::vector<value_t> base;
+      for (index_t r = 0; r < nrhs; ++r) {
+        const std::vector<value_t> col = gen::dense_rhs(n, 120 + r);
+        base.insert(base.end(), col.begin(), col.end());
+      }
+      std::vector<value_t> looped = base;
+      for (index_t r = 0; r < nrhs; ++r)
+        serial.solve(std::span<value_t>(looped).subspan(
+            static_cast<std::size_t>(r) * n, static_cast<std::size_t>(n)));
+      std::vector<value_t> batched = base;
+      parallel::parallel_trisolve_batch(l, *coarse, batched, nrhs, ws_c);
+      for (std::size_t t = 0; t < looped.size(); ++t)
+        ASSERT_EQ(batched[t], looped[t]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ScheduleCoarsening, CoarsenedCholeskyBitIdenticalToFlatAcrossThreads) {
+  // Supernodal chain fusion on the factorization and both panel-solve
+  // sweeps: coarsen on vs off, 1/2/4 threads, all one set of bits. The
+  // banded pattern makes thin levels (chain-heavy), the grid wide ones.
+  std::vector<CscMatrix> mats;
+  mats.push_back(gen::grid2d_laplacian(40, 40));
+  mats.push_back(gen::banded_spd(180, 9, 3));
+  for (const CscMatrix& a : mats) {
+    api::SolverConfig cfg;
+    cfg.options.vsblock_min_avg_size = 0.0;
+    cfg.options.vsblock_min_avg_width = 0.0;
+    cfg.parallel_min_supernodes = 1;
+    cfg.parallel_min_avg_level_width = 0.0;
+    api::SolverConfig cfg_flat = cfg;
+    cfg_flat.coarsen_schedule = false;
+    api::Solver on(cfg, std::make_shared<api::SymbolicContext>());
+    api::Solver off(cfg_flat, std::make_shared<api::SymbolicContext>());
+    if (!Planner::parallel_enabled()) return;
+
+    const auto n = static_cast<std::size_t>(a.cols());
+    const index_t nrhs = 5;
+    std::vector<value_t> base;
+    for (index_t r = 0; r < nrhs; ++r) {
+      const std::vector<value_t> col = gen::dense_rhs(a.cols(), 140 + r);
+      base.insert(base.end(), col.begin(), col.end());
+    }
+    CscMatrix l_ref;
+    std::vector<value_t> x_ref;
+    bool have_ref = false;
+    for (const int threads : {1, 2, 4}) {
+#ifdef SYMPILER_HAS_OPENMP
+      omp_set_num_threads(threads);
+#endif
+      on.factor(a);
+      off.factor(a);
+      ASSERT_EQ(on.path(), ExecutionPath::ParallelSupernodal);
+      ASSERT_FALSE(on.plan()->agg.empty());
+      ASSERT_TRUE(off.plan()->agg.empty());
+      // Compacted supernodal slot map: one entry per below-diagonal panel
+      // row, the per-supernode diagonal-block prefixes squeezed out.
+      EXPECT_EQ(on.plan()->solve_update_map.slot.size(),
+                on.plan()->sets.layout.srows.size() - n);
+      // Chain fusion must strictly reduce barriers on the banded pattern;
+      // never increase them anywhere.
+      EXPECT_LE(on.plan()->agg.levels(), on.plan()->schedule.levels());
+      std::vector<value_t> x_on = base, x_off = base;
+      on.solve_batch(x_on, nrhs);
+      off.solve_batch(x_off, nrhs);
+      if (!have_ref) {
+        l_ref = on.factor_csc();
+        x_ref = x_on;
+        have_ref = true;
+      }
+      ASSERT_TRUE(on.factor_csc().equals(l_ref)) << "threads=" << threads;
+      ASSERT_TRUE(off.factor_csc().equals(l_ref)) << "threads=" << threads;
+      ASSERT_EQ(x_on, x_ref) << "threads=" << threads;
+      ASSERT_EQ(x_off, x_ref) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ScheduleCoarsening, PlanBytesCountAggScheduleAndSlotMapIsCompact) {
+  const index_t n = 129;
+  const CscMatrix l = racy_arrowhead_lower(n);
+  const auto coarse = racy_parallel_plan(l, /*coarsen=*/true);
+  const auto flat = racy_parallel_plan(l, /*coarsen=*/false);
+  if (!Planner::parallel_enabled()) return;
+  ASSERT_EQ(coarse->path, ExecutionPath::ParallelTriSolve);
+  // The compacted slot map holds exactly one entry per strictly-lower
+  // nonzero — the always-(-1) diagonal prefix entries are gone.
+  EXPECT_EQ(static_cast<index_t>(coarse->update_map.slot.size()),
+            l.nnz() - n);
+  EXPECT_EQ(coarse->update_map.slots(),
+            static_cast<index_t>(coarse->update_map.slot.size()));
+  // bytes() accounts for the aggregate schedule: the two plans differ in
+  // nothing else.
+  EXPECT_EQ(coarse->bytes() - flat->bytes(), coarse->agg.bytes());
+  EXPECT_GT(coarse->agg.bytes(), 0u);
+}
+
 // ------------------------------- shared-context zero-schedule regression
 
 TEST(ExecutionPlan, SecondSolverSharingContextDoesZeroScheduleWork) {
@@ -540,6 +755,11 @@ void expect_plans_bit_identical(const CholeskyPlan& fast,
   EXPECT_EQ(fast.solve_update_map.slot, naive.solve_update_map.slot) << label;
   EXPECT_EQ(fast.solve_update_map.row_ptr, naive.solve_update_map.row_ptr)
       << label;
+  // Coarsened aggregate schedule (chains + bundles, task-major order).
+  EXPECT_EQ(fast.agg.level_ptr, naive.agg.level_ptr) << label;
+  EXPECT_EQ(fast.agg.task_ptr, naive.agg.task_ptr) << label;
+  EXPECT_EQ(fast.agg.items, naive.agg.items) << label;
+  EXPECT_EQ(fast.agg.bundle, naive.agg.bundle) << label;
   // Workspace dims + byte accounting.
   EXPECT_EQ(fast.workspace.n, naive.workspace.n) << label;
   EXPECT_EQ(fast.workspace.max_panel_rows, naive.workspace.max_panel_rows)
