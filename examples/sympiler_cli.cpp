@@ -45,6 +45,7 @@ void explain(const CscMatrix& a, const core::SympilerOptions& opt) {
   api::Solver solver(cfg, context);
   solver.factor(a);
   std::printf("=== execution plan ===\n%s\n", solver.plan()->summary().c_str());
+  std::printf("robustness: %s\n", solver.report().to_string().c_str());
 
   api::Solver warm(cfg, context);  // same pattern, fresh Solver: cache hit
   warm.factor(a);

@@ -1,6 +1,8 @@
 #include "api/solver.h"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 #include <utility>
 
 #include "core/plan_compiler.h"
@@ -15,6 +17,78 @@ std::shared_ptr<SymbolicContext> SymbolicContext::global() {
   return instance;
 }
 
+std::string FactorReport::to_string() const {
+  if (!degraded()) return "ok (no degradation)";
+  std::ostringstream os;
+  os << "degraded:";
+  if (jit_degraded) os << " jit->interpreter";
+  if (serial_fallback) os << " parallel->serial";
+  if (shift_attempts_used > 0)
+    os << " diagonal-shift(+" << shift_applied << ", attempt "
+       << shift_attempts_used << ")";
+  if (!last_error.ok()) os << " [" << last_error.to_string() << "]";
+  return os.str();
+}
+
+// ------------------------------------------------------- input validation
+
+namespace {
+
+/// Diagonal-first check shared by both validators: in a validated CSC
+/// lower triangle (strictly increasing rows per column) column j must
+/// store the diagonal as its first entry — a first row above j means an
+/// upper-triangle entry, below j a missing diagonal.
+void check_diagonal_first(const CscMatrix& m, const char* who) {
+  for (index_t j = 0; j < m.cols(); ++j) {
+    SYMPILER_CHECK(m.col_end(j) > m.col_begin(j),
+                   std::string(who) + ": column " + std::to_string(j) +
+                       " is empty (missing diagonal)");
+    const index_t r0 = m.rowind[static_cast<std::size_t>(m.col_begin(j))];
+    if (r0 > j)
+      throw invalid_matrix_error(std::string(who) +
+                                 ": missing diagonal entry in column " +
+                                 std::to_string(j));
+    if (r0 < j)
+      throw invalid_matrix_error(
+          std::string(who) + ": entry above the diagonal at (" +
+          std::to_string(r0) + ", " + std::to_string(j) +
+          ") — pass the lower triangle only");
+  }
+}
+
+/// Optional O(nnz) value scan (SympilerOptions::scan_values): NaN/Inf in
+/// the input would otherwise surface much later as a mysterious numeric
+/// breakdown (or propagate silently through a solve).
+void check_values_finite(const CscMatrix& m, const char* who) {
+  for (std::size_t p = 0; p < m.values.size(); ++p)
+    if (!std::isfinite(m.values[p]))
+      throw invalid_matrix_error(std::string(who) +
+                                 ": non-finite value at entry " +
+                                 std::to_string(p));
+}
+
+}  // namespace
+
+void validate_factor_input(const CscMatrix& a_lower, bool scan_values) {
+  a_lower.validate();
+  SYMPILER_CHECK(a_lower.rows() == a_lower.cols(),
+                 "solver: matrix must be square");
+  check_diagonal_first(a_lower, "solver");
+  if (scan_values) check_values_finite(a_lower, "solver");
+}
+
+void validate_trisolve_input(const CscMatrix& l, std::span<const index_t> beta,
+                             bool scan_values) {
+  l.validate();
+  SYMPILER_CHECK(l.rows() == l.cols(), "triangular solver: L must be square");
+  check_diagonal_first(l, "triangular solver");
+  for (const index_t i : beta)
+    SYMPILER_CHECK(i >= 0 && i < l.cols(),
+                   "triangular solver: RHS pattern index " +
+                       std::to_string(i) + " out of range");
+  if (scan_values) check_values_finite(l, "triangular solver");
+}
+
 // ------------------------------------------------------------------ Solver
 
 Solver::Solver(SolverConfig config, std::shared_ptr<SymbolicContext> context)
@@ -26,21 +100,88 @@ Solver::Solver(SolverConfig config, std::shared_ptr<SymbolicContext> context)
 void Solver::factor(const CscMatrix& a_lower) {
   SYMPILER_CHECK(a_lower.rows() == a_lower.cols(),
                  "solver: matrix must be square");
+  if (config_.options.validate_input)
+    validate_factor_input(a_lower, config_.options.scan_values);
   // Invalidate up front: a numeric failure below (non-SPD pivot) must not
   // leave a half-overwritten factor reachable through solve().
   factorized_ = false;
+  report_ = {};
   prepare_symbolic(a_lower);
-  maybe_compile_kernel();
+  // JIT tier, first rung of the degradation ladder: PlanCompiler contains
+  // its own failures via JitSlot::mark_failed, and anything that still
+  // escapes is contained here — the slot goes sticky-failed and the plan
+  // interpreter (bit-identical by contract) serves every later call.
+  try {
+    maybe_compile_kernel();
+  } catch (const std::exception& e) {
+    plan_->jit->mark_failed(e.what());
+  }
+  if (config_.options.jit != core::JitMode::kOff &&
+      plan_->evidence.jit_eligible && plan_->jit->failed()) {
+    report_.jit_degraded = true;
+    if (report_.last_error.ok())
+      report_.last_error =
+          Status{ErrorCode::kJitUnavailable, plan_->jit->failure()};
+  }
+  factor_numeric(a_lower);
+  factorized_ = true;
+}
+
+void Solver::run_numeric(const CscMatrix& a_lower) {
   // Thin dispatch on the plan's path — every decision was made at plan
   // time and cached with the plan. When a plan-compiled kernel has been
   // published, the executor adopts it internally (same buffers, pinned
   // bit-identical).
   if (plan_->path == ExecutionPath::ParallelSupernodal) {
-    parallel::parallel_cholesky(*plan_, a_lower, panels_);
+    Status fallback;
+    if (parallel::parallel_cholesky(*plan_, a_lower, panels_, &fallback)) {
+      report_.serial_fallback = true;
+      report_.last_error = fallback;
+    }
   } else {
     executor_->factorize(a_lower);
   }
-  factorized_ = true;
+}
+
+void Solver::factor_numeric(const CscMatrix& a_lower) {
+  try {
+    run_numeric(a_lower);
+    return;
+  } catch (const numerical_error& e) {
+    if (config_.options.shift_attempts <= 0) throw;
+    report_.last_error = e.status();
+  }
+  // Shift-retry rung: the pivot broke down, the caller opted into
+  // regularization. Retry factoring A + sigma*I with sigma growing from
+  // ~1e-10 * max|diag| by 1000x per attempt (the CHOLMOD/LDL folklore
+  // ladder: a tiny shift rescues near-singular matrices without visibly
+  // perturbing the solution; a few decades of growth give up quickly on
+  // genuinely indefinite ones). The shift used is recorded in report() —
+  // the caller knows it solved a perturbed system.
+  value_t max_diag = 0.0;
+  for (index_t j = 0; j < a_lower.cols(); ++j) {
+    const index_t p = a_lower.col_begin(j);
+    if (p < a_lower.col_end(j) && a_lower.rowind[p] == j)
+      max_diag = std::max(max_diag, std::abs(a_lower.values[p]));
+  }
+  CscMatrix shifted = a_lower;
+  value_t sigma = (max_diag > 0.0 ? max_diag : 1.0) * 1e-10;
+  for (index_t attempt = 1;; ++attempt, sigma *= 1000.0) {
+    for (index_t j = 0; j < shifted.cols(); ++j) {
+      const index_t p = shifted.col_begin(j);
+      if (p < shifted.col_end(j) && shifted.rowind[p] == j)
+        shifted.values[p] = a_lower.values[p] + sigma;
+    }
+    try {
+      run_numeric(shifted);
+      report_.shift_attempts_used = attempt;
+      report_.shift_applied = sigma;
+      return;
+    } catch (const numerical_error& e) {
+      report_.last_error = e.status();
+      if (attempt >= config_.options.shift_attempts) throw;
+    }
+  }
 }
 
 void Solver::prepare_symbolic(const CscMatrix& a_lower) {
@@ -53,13 +194,17 @@ void Solver::prepare_symbolic(const CscMatrix& a_lower) {
     return;
   }
 
+  // Re-route: drop the standing key before any step that can throw (plan
+  // build, workspace growth). Otherwise a failed re-route would leave the
+  // old key paired with a half-prepared executor, and the next factor()
+  // of that old pattern would take the early return above into it.
+  has_key_ = false;
   auto lookup = context_->cholesky_cache().get_or_build(
       key, [&] { return planner.plan_cholesky(a_lower); });
-  key_ = key;
-  has_key_ = true;
   symbolic_cached_ = lookup.hit;
   plan_ = std::move(lookup.plan);
   factorized_ = false;
+  ws_.set_guard(config_.options.guard_workspace);
 
   if (plan_->path == ExecutionPath::ParallelSupernodal) {
     panels_.assign(
@@ -82,6 +227,10 @@ void Solver::prepare_symbolic(const CscMatrix& a_lower) {
     panels_.clear();
     panels_.shrink_to_fit();
   }
+  // Commit the key last: everything above succeeded, the executor state is
+  // coherent, and the early-return fast path may now trust it.
+  key_ = key;
+  has_key_ = true;
 }
 
 void Solver::maybe_compile_kernel() {
@@ -135,7 +284,12 @@ void Solver::solve_batch(std::span<value_t> bx, index_t nrhs) const {
   // multi-RHS panel kernels.
   if (plan_->path == ExecutionPath::ParallelSupernodal) {
     const core::Workspace::Borrow guard(ws_);
-    parallel::parallel_panel_solve_batch(*plan_, panels_, bx, nrhs, ws_);
+    Status fallback;
+    if (parallel::parallel_panel_solve_batch(*plan_, panels_, bx, nrhs, ws_,
+                                             &fallback)) {
+      report_.serial_fallback = true;
+      report_.last_error = fallback;
+    }
   } else {
     executor_->solve_batch(bx, nrhs);
   }
@@ -182,6 +336,10 @@ std::shared_ptr<const core::TriSolvePlan> lookup_trisolve_plan(
     const CscMatrix& l, std::span<const index_t> beta,
     const SolverConfig& config, SymbolicContext& context,
     bool& symbolic_cached) {
+  // Validation runs here — in the member initializer, before any planning
+  // touches the (possibly malformed) structure arrays.
+  if (config.options.validate_input)
+    validate_trisolve_input(l, beta, config.options.scan_values);
   const core::Planner planner(config.planner_config());
   auto lookup = context.trisolve_cache().get_or_build(
       planner.trisolve_key(l, beta),
@@ -205,12 +363,14 @@ TriangularSolver::TriangularSolver(const CscMatrix& l,
       executor_(lookup_trisolve_plan(l, beta, config, *context_,
                                      symbolic_cached_),
                 l) {
+  pws_.set_guard(config.options.guard_workspace);
   if (executor_.plan().path == ExecutionPath::ParallelTriSolve) {
-    // Pre-grow the parallel interpreter's terms buffer so the first
+    // Pre-grow the parallel interpreter's terms buffer plus the one-column
+    // snapshot the serial-fallback rung restores from, so the first
     // solve() is already allocation-free (the packed batch block still
     // grows on the first solve_batch, sized to the batch actually used).
     core::WorkspaceDims dims = executor_.plan().workspace;
-    dims.rhs_block = 0;
+    dims.rhs_block = 1;
     pws_.ensure(dims);
   }
 }
@@ -235,15 +395,53 @@ void TriangularSolver::maybe_compile_kernel() const {
     context_->trisolve_cache().refresh_bytes(plan.key);
 }
 
+void TriangularSolver::prepare_jit() const {
+  // JIT rung of the degradation ladder (mirrors Solver::factor): contain
+  // any compile-path escape in the slot, then record the sticky
+  // degradation — the interpreter serves every call bit-identically.
+  try {
+    maybe_compile_kernel();
+  } catch (const std::exception& e) {
+    executor_.plan().jit->mark_failed(e.what());
+  }
+  if (config_.options.jit != core::JitMode::kOff &&
+      executor_.plan().evidence.jit_eligible && executor_.plan().jit->failed()) {
+    report_.jit_degraded = true;
+    if (report_.last_error.ok())
+      report_.last_error = Status{ErrorCode::kJitUnavailable,
+                                  executor_.plan().jit->failure()};
+  }
+}
+
 void TriangularSolver::solve(std::span<value_t> x) const {
   SYMPILER_CHECK(static_cast<index_t>(x.size()) == n_,
                  "triangular solver: size mismatch");
-  maybe_compile_kernel();
+  prepare_jit();
   if (executor_.plan().path == ExecutionPath::ParallelTriSolve) {
     // Level-set interpreter with the plan's privatized update slots:
     // atomic-free, bit-identical to executor_.solve() at any thread count.
+    // The Borrow sits outside the try: a concurrent-borrow trip is caller
+    // misuse and must propagate, not degrade.
     const core::Workspace::Borrow guard(pws_);
-    parallel::parallel_trisolve(*l_, executor_.plan(), x, pws_);
+    try {
+      Status fallback;
+      if (parallel::parallel_trisolve(*l_, executor_.plan(), x, pws_,
+                                      &fallback)) {
+        report_.serial_fallback = true;
+        report_.last_error = fallback;
+      }
+    } catch (const resource_exhausted_error& e) {
+      // The interpreter's own entry ensure failed before x was touched —
+      // the sequential executor (its workspace already grown at plan
+      // adoption) is the last rung.
+      report_.serial_fallback = true;
+      report_.last_error = e.status();
+      executor_.solve(x);
+    } catch (const std::bad_alloc& e) {
+      report_.serial_fallback = true;
+      report_.last_error = Status{ErrorCode::kResourceExhausted, e.what()};
+      executor_.solve(x);
+    }
   } else {
     executor_.solve(x);
   }
@@ -254,13 +452,30 @@ void TriangularSolver::solve_batch(std::span<value_t> xs, index_t nrhs) const {
   const std::size_t n = static_cast<std::size_t>(n_);
   SYMPILER_CHECK(xs.size() == n * static_cast<std::size_t>(nrhs),
                  "triangular solver: batch size mismatch");
-  maybe_compile_kernel();
+  prepare_jit();
   if (executor_.plan().path == ExecutionPath::ParallelTriSolve) {
     // Blocked level-set path: packed RHS blocks sweep the level schedule
     // (parallel inside each level), per column bit-identical to looped
     // solve().
     const core::Workspace::Borrow guard(pws_);
-    parallel::parallel_trisolve_batch(*l_, executor_.plan(), xs, nrhs, pws_);
+    try {
+      Status fallback;
+      if (parallel::parallel_trisolve_batch(*l_, executor_.plan(), xs, nrhs,
+                                            pws_, &fallback)) {
+        report_.serial_fallback = true;
+        report_.last_error = fallback;
+      }
+    } catch (const resource_exhausted_error& e) {
+      // Entry ensure failure: xs is untouched (packing happens after the
+      // grow), so the executor's looped solve is a clean last rung.
+      report_.serial_fallback = true;
+      report_.last_error = e.status();
+      executor_.solve_batch(xs, nrhs);
+    } catch (const std::bad_alloc& e) {
+      report_.serial_fallback = true;
+      report_.last_error = Status{ErrorCode::kResourceExhausted, e.what()};
+      executor_.solve_batch(xs, nrhs);
+    }
     return;
   }
   // Sequential paths: the executor tiles the batch into packed RHS blocks

@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/cholesky_executor.h"
@@ -71,6 +72,51 @@ struct SolverConfig {
     return pc;
   }
 };
+
+/// What the graceful-degradation ladder did on the most recent
+/// factor()/solve() of a facade (docs/robustness.md). A degraded run still
+/// produced a correct result — via the interpreter instead of the JIT
+/// kernel, a serial re-execution instead of the parallel sweep, or a
+/// diagonally shifted factorization — and this record says which rung
+/// served it and what failure it absorbed.
+struct FactorReport {
+  /// The JIT tier failed (compile/load error, injected fault) and the
+  /// plan interpreter served the call instead. Sticky per plan: the slot
+  /// remembers the failure, so later calls degrade without retrying.
+  bool jit_degraded = false;
+  /// A parallel sweep hit an infrastructure fault and the same schedule
+  /// was re-executed serially (bit-identical by the determinism contract).
+  bool serial_fallback = false;
+  /// Diagonal-shift retries consumed before the factorization succeeded
+  /// (0 = the unshifted matrix factored).
+  index_t shift_attempts_used = 0;
+  /// The shift added to every diagonal entry on the successful attempt
+  /// (0 when no shift was needed). The factorization is of A + shift * I.
+  value_t shift_applied = 0.0;
+  /// The failure the ladder absorbed (the last one, when several rungs
+  /// fired). kOk when nothing degraded.
+  Status last_error;
+
+  [[nodiscard]] bool degraded() const {
+    return jit_degraded || serial_fallback || shift_attempts_used > 0;
+  }
+  /// One-line summary for logs and --explain.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Input validation run at the factor() boundary when
+/// SympilerOptions::validate_input is set: full CSC structure check
+/// (sorted in-bounds indices, monotone colptr), squareness, a present
+/// diagonal as each column's first stored entry (i.e. a lower triangle),
+/// and — when `scan_values` — an O(nnz) NaN/Inf scan. Throws
+/// invalid_matrix_error (kInvalidInput) describing the first violation.
+void validate_factor_input(const CscMatrix& a_lower, bool scan_values);
+
+/// TriangularSolver-boundary counterpart: CSC structure, squareness,
+/// diagonal-first columns of L, RHS pattern indices in range, and the
+/// optional value scan.
+void validate_trisolve_input(const CscMatrix& l, std::span<const index_t> beta,
+                             bool scan_values);
 
 /// A bundle of the two plan caches. Solvers sharing a context share whole
 /// execution plans — sets, schedule, and path; the process-wide default
@@ -148,9 +194,20 @@ class Solver {
   [[nodiscard]] const std::shared_ptr<SymbolicContext>& context() const {
     return context_;
   }
+  /// Degradation record of the most recent factor() (and any solve_batch()
+  /// serial fallback since). Reset at each factor().
+  [[nodiscard]] const FactorReport& report() const { return report_; }
 
  private:
   void prepare_symbolic(const CscMatrix& a_lower);
+  /// Numeric phase behind the shift-retry ladder: one attempt at the given
+  /// matrix, dispatching parallel plans to the level-set interpreter (with
+  /// its serial fallback recorded) and everything else to the executor.
+  void run_numeric(const CscMatrix& a_lower);
+  /// The ladder itself: factor a_lower; on numeric breakdown with
+  /// SympilerOptions::shift_attempts > 0, retry with growing diagonal
+  /// shifts, recording the shift that succeeded in report().
+  void factor_numeric(const CscMatrix& a_lower);
   /// JitMode dispatch tier: count this facade use of the plan and, when
   /// the mode's gate passes, lower the plan to a compiled kernel
   /// (core/plan_compiler.h). The executor adopts the published kernel on
@@ -172,6 +229,9 @@ class Solver {
   std::vector<value_t> panels_;
   mutable core::Workspace ws_;
   bool factorized_ = false;
+  /// Mutable: solve_batch() is logically const but records its serial
+  /// fallback here.
+  mutable FactorReport report_;
 };
 
 /// Triangular-solve facade: the Lx = b pipeline (paper Figure 1) with the
@@ -202,12 +262,18 @@ class TriangularSolver {
     return executor_.sets();
   }
   [[nodiscard]] CacheStats cache_stats() const;
+  /// Degradation record of the most recent solve()/solve_batch().
+  [[nodiscard]] const FactorReport& report() const { return report_; }
 
  private:
   /// JitMode dispatch tier (see Solver::maybe_compile_kernel). Logically
   /// const: compilation mutates only the plan's JitSlot and the cache
   /// ledger, never this solver.
   void maybe_compile_kernel() const;
+  /// maybe_compile_kernel with the ladder's belt-and-braces containment:
+  /// an escaping JIT failure marks the slot failed (sticky) and the
+  /// interpreter serves the call; records jit_degraded in report().
+  void prepare_jit() const;
 
   std::shared_ptr<SymbolicContext> context_;
   SolverConfig config_;
@@ -221,6 +287,9 @@ class TriangularSolver {
   /// warm parallel solves allocate nothing. Mutable: solve() is logically
   /// const. Guarded against concurrent borrow in debug builds.
   mutable core::Workspace pws_;
+  /// Mutable: solve()/solve_batch() are logically const but record their
+  /// degradations here.
+  mutable FactorReport report_;
 };
 
 }  // namespace sympiler::api

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "blas/kernels.h"
 #include "core/planner.h"
 #include "solvers/trisolve.h"
+#include "util/fault.h"
 
 namespace sympiler::core {
 
@@ -32,6 +34,7 @@ CholeskyExecutor::CholeskyExecutor(std::shared_ptr<const CholeskyPlan> plan)
   SYMPILER_CHECK(plan_ != nullptr, "cholesky executor: null plan");
   sets_ = &plan_->sets;
   const SympilerOptions& opt = plan_->options;
+  ws_.set_guard(opt.guard_workspace);
   specialized_ =
       opt.low_level && sets_->avg_colcount < opt.blas_switch_colcount;
   // Size all numeric scratch once, from the plan's dimensions: factorize()
@@ -53,6 +56,10 @@ CholeskyExecutor::CholeskyExecutor(std::shared_ptr<const CholeskyPlan> plan)
 }
 
 void CholeskyExecutor::factorize(const CscMatrix& a_lower) {
+  // Invalidate up front: a numeric failure below must not leave a
+  // previously successful factorization reachable through solve() with
+  // half-overwritten values (factor-after-failure then starts clean).
+  factorized_ = false;
   // Pure plan dispatch: the path was decided at plan time. A published
   // plan-compiled kernel (plan_compiler.h) takes over the whole numeric
   // phase — it consumes exactly the buffers sized here, so adopting it
@@ -60,6 +67,9 @@ void CholeskyExecutor::factorize(const CscMatrix& a_lower) {
   // to the interpreters below.
   const Workspace::Borrow guard(ws_);
   if (const auto kernel = plan_->jit->kernel()) {
+    if (SYMPILER_FAULT_POINT(util::FaultSite::kPivot))
+      throw numerical_error(
+          "cholesky: injected pivot failure (fault site pivot, jit path)");
     const auto fn = kernel->entry<PlanCholeskyFn>();
     value_t* values = vs_block_applied() ? panels_.data() : l_.values.data();
     value_t* scratch =
@@ -131,20 +141,37 @@ void CholeskyExecutor::factorize_supernodal(const CscMatrix& a_lower) {
 
     // Dense factorization of the diagonal block + panel solve, with the
     // generated small kernels when the column-count heuristic says so.
+    // Pivot failures surface with the supernode's first column and its
+    // current diagonal value (detail of the numerical_error).
+    if (SYMPILER_FAULT_POINT(util::FaultSite::kPivot))
+      throw numerical_error(
+          "cholesky: injected pivot failure (fault site pivot, supernodal)",
+          c1, panel[0]);
     if (specialized_ && w == 1) {
       // Peeled single-column supernode: scalar sqrt + column scale.
       const value_t d = panel[0];
-      if (!(d > 0.0)) throw numerical_error("cholesky: non-positive pivot");
+      if (!(d > 0.0))
+        throw numerical_error(
+            "cholesky: non-positive pivot at column " + std::to_string(c1),
+            c1, d);
       const value_t ljj = std::sqrt(d);
       panel[0] = ljj;
       const value_t inv = 1.0 / ljj;
       for (index_t t = 1; t < m; ++t) panel[t] *= inv;
-    } else if (specialized_ && w <= blas::kSmallKernelMax) {
-      blas::potrf_lower_small(w, panel, m);
-      if (m > w)
-        blas::trsm_right_lower_trans(m - w, w, panel, m, panel + w, m);
     } else {
-      blas::potrf_lower(w, panel, m);
+      try {
+        if (specialized_ && w <= blas::kSmallKernelMax)
+          blas::potrf_lower_small(w, panel, m);
+        else
+          blas::potrf_lower(w, panel, m);
+      } catch (const numerical_error& e) {
+        // The dense kernels know only the local column; re-anchor at the
+        // supernode's global first column.
+        throw numerical_error(std::string(e.what()) +
+                                  " (supernode starting at column " +
+                                  std::to_string(c1) + ")",
+                              c1, panel[0]);
+      }
       if (m > w)
         blas::trsm_right_lower_trans(m - w, w, panel, m, panel + w, m);
     }
@@ -176,9 +203,13 @@ void CholeskyExecutor::factorize_simplicial(const CscMatrix& a_lower) {
       next[k] = pj + 1;
     }
     const value_t d = f[j];
+    if (SYMPILER_FAULT_POINT(util::FaultSite::kPivot))
+      throw numerical_error(
+          "cholesky: injected pivot failure (fault site pivot, simplicial)",
+          j, d);
     if (!(d > 0.0))
-      throw numerical_error("cholesky: non-positive pivot at column " +
-                            std::to_string(j));
+      throw numerical_error(
+          "cholesky: non-positive pivot at column " + std::to_string(j), j, d);
     const value_t ljj = std::sqrt(d);
     const index_t pdiag = l_.col_begin(j);
     l_.values[pdiag] = ljj;

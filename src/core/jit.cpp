@@ -8,8 +8,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 
+#include "util/fault.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 #ifndef SYMPILER_HOST_CXX
@@ -67,16 +68,24 @@ bool JitModule::compiler_available() {
 
 JitModule JitModule::compile(const std::string& source,
                              const std::string& symbol) {
+  // Every failure below is a jit_unavailable_error (kJitUnavailable):
+  // PlanCompiler::compile contains it via JitSlot::mark_failed and the
+  // facades fall back to the interpreters — a scratch-dir or compiler
+  // failure degrades the JIT tier, it never aborts a solve.
+  if (SYMPILER_FAULT_POINT(util::FaultSite::kJitCompile))
+    throw jit_unavailable_error(
+        "jit: injected compile failure (fault site jit-compile)");
   const std::string dir = scratch_dir();
   if (std::system(("mkdir -p " + dir).c_str()) != 0)
-    throw std::runtime_error("jit: cannot create scratch dir " + dir);
+    throw jit_unavailable_error("jit: cannot create scratch dir " + dir);
   const std::string src_path = dir + "/kernel.cpp";
   const std::string so_path = dir + "/kernel.so";
   const std::string err_path = dir + "/cc.err";
   {
     std::ofstream src(src_path);
     src << source;
-    if (!src.good()) throw std::runtime_error("jit: cannot write " + src_path);
+    if (!src.good())
+      throw jit_unavailable_error("jit: cannot write " + src_path);
   }
 
   Timer timer;
@@ -94,15 +103,18 @@ JitModule JitModule::compile(const std::string& source,
     std::ifstream err(err_path);
     std::ostringstream msg;
     msg << "jit: compiler failed (rc=" << rc << "):\n" << err.rdbuf();
-    throw std::runtime_error(msg.str());
+    throw jit_unavailable_error(msg.str());
   }
+  if (SYMPILER_FAULT_POINT(util::FaultSite::kJitLoad))
+    throw jit_unavailable_error(
+        "jit: injected dlopen failure (fault site jit-load)");
   mod.handle_ = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (mod.handle_ == nullptr)
-    throw std::runtime_error(std::string("jit: dlopen failed: ") +
-                             ::dlerror());
+    throw jit_unavailable_error(std::string("jit: dlopen failed: ") +
+                                ::dlerror());
   mod.fn_ = ::dlsym(mod.handle_, symbol.c_str());
   if (mod.fn_ == nullptr)
-    throw std::runtime_error("jit: symbol not found: " + symbol);
+    throw jit_unavailable_error("jit: symbol not found: " + symbol);
   // Scratch files are kept for post-mortem inspection; they live under the
   // process-specific directory and are tiny.
   return mod;

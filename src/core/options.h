@@ -75,6 +75,29 @@ struct SympilerOptions {
   /// (baked pattern arrays scale with nnz(L); very large patterns would
   /// pay minutes of host-compiler time for a serial kernel). 0 = no cap.
   index_t jit_max_source_kb = 4096;
+
+  // Failure-domain knobs (docs/robustness.md). None of these are hashed
+  // into the plan cache key: they change how a numeric call fails or
+  // retries, never what the plan contains.
+
+  /// Validate CSC structure at the facade boundary (sorted in-bounds
+  /// indices, present diagonal, lower-triangular shape) and reject with
+  /// kInvalidInput instead of corrupting deep in an executor. O(nnz) per
+  /// facade factor()/construction, allocation-free.
+  bool validate_input = true;
+  /// Additionally scan numeric values for NaN/Inf at the boundary (every
+  /// facade factor() pays one pass over the values; off by default).
+  bool scan_values = false;
+  /// Diagonal-shift retry ladder: when factor() hits a numeric breakdown,
+  /// retry on A + sigma*I up to this many times with a growing sigma (the
+  /// classic near-singular rescue; the applied shift is recorded in the
+  /// FactorReport). 0 = fail fast. Retries allocate (one shifted copy) —
+  /// acceptable on the degraded path, which is off the steady state.
+  index_t shift_attempts = 0;
+  /// Promote the debug-only Workspace borrow guard to release builds for
+  /// facades configured with it: concurrent solve() on one instance then
+  /// throws kResourceExhausted instead of silently corrupting scratch.
+  bool guard_workspace = false;
 };
 
 }  // namespace sympiler::core

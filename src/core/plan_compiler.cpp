@@ -491,6 +491,9 @@ std::shared_ptr<const CompiledKernel> compile_impl(
   } catch (const std::exception& e) {
     slot.mark_failed(e.what());
     return nullptr;
+  } catch (...) {
+    slot.mark_failed("unknown jit failure");
+    return nullptr;
   }
 }
 

@@ -34,6 +34,7 @@
 
 #include "core/execution_plan.h"
 #include "core/pattern_key.h"
+#include "util/fault.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -101,6 +102,11 @@ class PlanCache {
     Timer timer;
     auto built = std::make_shared<const Plan>(build());
     const double seconds = timer.seconds();
+    // Injected insert failure: degrade to serving the freshly built plan
+    // uncached — the caller's solve proceeds normally, only reuse is lost
+    // (and the cache is never poisoned by a half-inserted entry).
+    if (SYMPILER_FAULT_POINT(util::FaultSite::kCacheInsert))
+      return {std::move(built), false};
     std::lock_guard<std::mutex> lock(shard.mu);
     return {insert_locked(shard, key, std::move(built), seconds), false};
   }

@@ -42,6 +42,7 @@ TriSolveExecutor::TriSolveExecutor(std::shared_ptr<const TriSolvePlan> plan,
   WorkspaceDims dims = plan_->workspace;
   dims.rhs_block = 0;
   dims.update_slots = 0;
+  ws_.set_guard(plan_->options.guard_workspace);
   ws_.ensure(dims);
 }
 

@@ -14,22 +14,21 @@
 //    block and the privatized terms) live in the caller's Workspace;
 //  * nothing in a steady-state numeric call allocates — pinned by the
 //    operator-new counter test (tests/test_alloc.cpp);
-//  * a borrowed Workspace is not concurrency-safe: debug builds assert on
-//    concurrent entry via Workspace::Borrow (release builds compile the
-//    guard away).
+//  * a borrowed Workspace is not concurrency-safe: debug builds always
+//    throw on concurrent entry via Workspace::Borrow; release builds
+//    check only when the owner opted in with set_guard(true)
+//    (SympilerOptions::guard_workspace), and are guard-free otherwise.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <span>
 #include <vector>
 
-#ifndef NDEBUG
-#include <atomic>
-#endif
-
 #include "blas/kernels.h"
 #include "solvers/supernodal.h"
 #include "util/common.h"
+#include "util/fault.h"
 
 namespace sympiler::core {
 
@@ -101,6 +100,9 @@ class Workspace {
   Workspace& operator=(const Workspace&) = delete;
 
   void ensure(const WorkspaceDims& dims) {
+    if (SYMPILER_FAULT_POINT(util::FaultSite::kAlloc))
+      throw resource_exhausted_error(
+          "workspace: injected allocation failure (fault site alloc)");
     const auto n = static_cast<std::size_t>(dims.n);
     const auto upd = static_cast<std::size_t>(dims.max_panel_rows) *
                      static_cast<std::size_t>(dims.max_panel_width);
@@ -133,32 +135,46 @@ class Workspace {
   /// threads — slots are disjoint by construction.
   [[nodiscard]] std::span<value_t> terms() { return terms_; }
 
-  /// Debug-build reentrancy guard over a borrowed workspace. solve() and
-  /// friends are logically const but borrow the owner's scratch, so one
-  /// instance must never be entered from two threads at once (the PR 3
-  /// breaking note). Debug builds turn that footnote into a loud failure:
-  /// constructing a second Borrow while one is live throws. Release builds
-  /// compile to nothing.
+  /// Opt the borrow guard into release builds (debug builds always guard).
+  /// Facades wire this from SympilerOptions::guard_workspace.
+  void set_guard(bool on) { guard_opt_in_ = on; }
+
+  [[nodiscard]] bool guard_enabled() const {
+#ifndef NDEBUG
+    return true;
+#else
+    return guard_opt_in_;
+#endif
+  }
+
+  /// Reentrancy guard over a borrowed workspace. solve() and friends are
+  /// logically const but borrow the owner's scratch, so one instance must
+  /// never be entered from two threads at once (the PR 3 breaking note).
+  /// Debug builds turn that footnote into a loud failure unconditionally;
+  /// release builds check when the owner opted in via set_guard(true) and
+  /// throw resource_exhausted_error (kResourceExhausted) on a concurrent
+  /// entry instead of silently corrupting scratch. The guard releases on
+  /// unwind too, so a failed borrow-holding call leaves the workspace
+  /// re-borrowable (factor-after-failure).
   class Borrow {
    public:
-#ifndef NDEBUG
-    explicit Borrow(Workspace& ws) : ws_(&ws) {
-      SYMPILER_CHECK(!ws.borrowed_.exchange(true, std::memory_order_acquire),
-                     "workspace: concurrent borrow — solve()/factorize() "
-                     "are not concurrency-safe on one instance; use "
-                     "solve_batch or per-thread owners");
+    explicit Borrow(Workspace& ws) {
+      if (!ws.guard_enabled()) return;
+      if (ws.borrowed_.exchange(true, std::memory_order_acquire))
+        throw resource_exhausted_error(
+            "workspace: concurrent borrow — solve()/factorize() are not "
+            "concurrency-safe on one instance; use solve_batch or "
+            "per-thread owners");
+      ws_ = &ws;
     }
-    ~Borrow() { ws_->borrowed_.store(false, std::memory_order_release); }
-#else
-    explicit Borrow(Workspace&) {}
-#endif
+    ~Borrow() {
+      if (ws_ != nullptr) ws_->borrowed_.store(false, std::memory_order_release);
+    }
     Borrow(const Borrow&) = delete;
     Borrow& operator=(const Borrow&) = delete;
 
-#ifndef NDEBUG
    private:
-    Workspace* ws_;
-#endif
+    Workspace* ws_ = nullptr;
   };
 
  private:
@@ -168,9 +184,8 @@ class Workspace {
   std::vector<value_t> rhs_;
   std::vector<value_t> tail_;
   std::vector<value_t> terms_;
-#ifndef NDEBUG
   std::atomic<bool> borrowed_{false};
-#endif
+  bool guard_opt_in_ = false;
 };
 
 /// Blocked multi-RHS solve over factored supernodal panels: `bx` holds nrhs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 
 #ifdef SYMPILER_HAS_OPENMP
 #include <omp.h>
@@ -12,6 +13,8 @@
 #include "core/execution_plan.h"
 #include "core/workspace.h"
 #include "solvers/supernodal.h"
+#include "util/abort_guard.h"
+#include "util/fault.h"
 
 namespace sympiler::parallel {
 
@@ -173,29 +176,53 @@ UpdateSlotMap update_slots_supernodes(const solvers::SupernodalLayout& layout) {
   return m;
 }
 
-void parallel_trisolve(const CscMatrix& l, const LevelSchedule& schedule,
-                       const UpdateSlotMap& umap, std::span<value_t> x,
-                       std::span<value_t> terms) {
+namespace {
+
+/// Injected parallel-path pivot failure (fault site pivot): throws on the
+/// column a trigger selects, exercising the containment + serial-fallback
+/// machinery of the plan-driven overloads.
+inline void maybe_inject_pivot_fault(index_t j, value_t diag) {
+  if (SYMPILER_FAULT_POINT(util::FaultSite::kPivot))
+    throw numerical_error(
+        "trisolve: injected pivot failure (fault site pivot, parallel)", j,
+        diag);
+}
+
+void trisolve_levels(const CscMatrix& l, const LevelSchedule& schedule,
+                     const UpdateSlotMap& umap, std::span<value_t> x,
+                     std::span<value_t> terms, [[maybe_unused]] bool serial) {
   const value_t* Lx = l.values.data();
   const index_t* slot = umap.slot.data();
   const index_t* rptr = umap.row_ptr.data();
   value_t* xp = x.data();
   value_t* tp = terms.data();
+  util::AbortGuard guard;
   // One parallel region for the whole solve; each level is a worksharing
   // loop whose implicit barrier realizes the wavefront dependence (and
   // publishes the level's slot writes to every later level). Tiny levels
   // skip the omp-for and run serially in-place (run_level).
+  //
+  // Worksharing uniformity: the level loop must NOT branch on
+  // guard.failed() — a thread can observe the flag (set by a teammate
+  // already inside level N's worksharing body) in the window between
+  // level N-1's barrier and its own entry into level N, exit the loop,
+  // and leave the team split across different barriers: a guaranteed
+  // deadlock. Instead every thread always traverses the identical
+  // construct sequence; after a failure guard.run turns the remaining
+  // bodies into no-ops, so cancellation costs a sweep of empty barriers
+  // (fine — failure is the rare path).
 #ifdef SYMPILER_HAS_OPENMP
-#pragma omp parallel
+#pragma omp parallel if (!serial)
 #endif
-  for (index_t lev = 0; lev < schedule.levels(); ++lev) {
+  {
     const auto solve_column = [&](index_t t) {
       const index_t j = schedule.items[t];
+      const index_t p0 = l.col_begin(j);
+      maybe_inject_pivot_fault(j, Lx[p0]);
       // Fold the privatized incoming updates in ascending-column order —
       // the exact subtraction sequence of the serial solve.
       value_t xj = xp[j];
       for (index_t q = rptr[j]; q < rptr[j + 1]; ++q) xj -= tp[q];
-      const index_t p0 = l.col_begin(j);
       xj /= Lx[p0];
       xp[j] = xj;
       // Scatter this column's updates into its plan-assigned private
@@ -204,38 +231,42 @@ void parallel_trisolve(const CscMatrix& l, const LevelSchedule& schedule,
       for (index_t p = p0 + 1; p < l.col_end(j); ++p)
         tp[slot[p - j - 1]] = Lx[p] * xj;
     };
-    run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
-              solve_column);
+    for (index_t lev = 0; lev < schedule.levels(); ++lev)
+      run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
+                [&](index_t t) { guard.run([&] { solve_column(t); }); });
   }
+  guard.rethrow_if_failed();
 }
 
-void parallel_trisolve(const CscMatrix& l, const AggregateSchedule& agg,
-                       const UpdateSlotMap& umap, std::span<value_t> x,
-                       std::span<value_t> terms) {
+void trisolve_levels(const CscMatrix& l, const AggregateSchedule& agg,
+                     const UpdateSlotMap& umap, std::span<value_t> x,
+                     std::span<value_t> terms, [[maybe_unused]] bool serial) {
   const value_t* Lx = l.values.data();
   const index_t* colptr = l.colptr.data();
   const index_t* slot = umap.slot.data();
   const index_t* rptr = umap.row_ptr.data();
   value_t* xp = x.data();
   value_t* tp = terms.data();
-  // Same region/barrier structure as the flat interpreter, but the
-  // worksharing unit is a task: a fused chain runs its members in flat-
-  // level order on one thread (the chain's internal barriers are gone),
-  // and a bundle solves its lanes lock-step in the ISA-dispatched kernel.
-  // Slot fold order is untouched, so results stay bit-identical to the
-  // serial solve at any thread count.
+  util::AbortGuard guard;
+  // Same region/barrier/containment structure as the flat interpreter,
+  // but the worksharing unit is a task: a fused chain runs its members in
+  // flat-level order on one thread (the chain's internal barriers are
+  // gone), and a bundle solves its lanes lock-step in the ISA-dispatched
+  // kernel. Slot fold order is untouched, so results stay bit-identical
+  // to the serial solve at any thread count.
 #ifdef SYMPILER_HAS_OPENMP
-#pragma omp parallel
+#pragma omp parallel if (!serial)
 #endif
-  for (index_t lev = 0; lev < agg.levels(); ++lev) {
+  {
     const auto run_task = [&](index_t t) {
       const index_t k0 = agg.task_ptr[t];
       const index_t k1 = agg.task_ptr[t + 1];
+      const index_t j0 = agg.items[k0];
+      maybe_inject_pivot_fault(j0, Lx[colptr[j0]]);
       if (agg.bundle[t]) {
         // All lanes share one (incoming-term, update) shape — the
         // coarsener grouped by it — so the counts of the first lane
         // describe every lane.
-        const index_t j0 = agg.items[k0];
         blas::trisolve_bundle(k1 - k0, rptr[j0 + 1] - rptr[j0],
                               colptr[j0 + 1] - colptr[j0] - 1,
                               agg.items.data() + k0, colptr, Lx, slot, rptr,
@@ -253,28 +284,50 @@ void parallel_trisolve(const CscMatrix& l, const AggregateSchedule& agg,
           tp[slot[p - j - 1]] = Lx[p] * xj;
       }
     };
-    run_level(agg.level_ptr[lev], agg.level_ptr[lev + 1], run_task);
+    for (index_t lev = 0; lev < agg.levels(); ++lev)
+      run_level(agg.level_ptr[lev], agg.level_ptr[lev + 1],
+                [&](index_t t) { guard.run([&] { run_task(t); }); });
   }
+  guard.rethrow_if_failed();
 }
 
-void parallel_trisolve_multi(const CscMatrix& l, const LevelSchedule& schedule,
-                             const UpdateSlotMap& umap, value_t* xp,
-                             index_t nrhs, index_t ldp, value_t* terms) {
+}  // namespace
+
+void parallel_trisolve(const CscMatrix& l, const LevelSchedule& schedule,
+                       const UpdateSlotMap& umap, std::span<value_t> x,
+                       std::span<value_t> terms) {
+  trisolve_levels(l, schedule, umap, x, terms, /*serial=*/false);
+}
+
+void parallel_trisolve(const CscMatrix& l, const AggregateSchedule& agg,
+                       const UpdateSlotMap& umap, std::span<value_t> x,
+                       std::span<value_t> terms) {
+  trisolve_levels(l, agg, umap, x, terms, /*serial=*/false);
+}
+
+namespace {
+
+void trisolve_multi_levels(const CscMatrix& l, const LevelSchedule& schedule,
+                           const UpdateSlotMap& umap, value_t* xp,
+                           index_t nrhs, index_t ldp, value_t* terms,
+                           [[maybe_unused]] bool serial) {
   const value_t* Lx = l.values.data();
   const index_t* slot = umap.slot.data();
   const index_t* rptr = umap.row_ptr.data();
+  util::AbortGuard guard;
 #ifdef SYMPILER_HAS_OPENMP
-#pragma omp parallel
+#pragma omp parallel if (!serial)
 #endif
-  for (index_t lev = 0; lev < schedule.levels(); ++lev) {
+  {
     const auto solve_column = [&](index_t t) {
       const index_t j = schedule.items[t];
+      const index_t p0 = l.col_begin(j);
+      maybe_inject_pivot_fault(j, Lx[p0]);
       value_t* xj = xp + static_cast<std::int64_t>(j) * ldp;
       for (index_t q = rptr[j]; q < rptr[j + 1]; ++q) {
         const value_t* tq = terms + static_cast<std::int64_t>(q) * ldp;
         for (index_t r = 0; r < nrhs; ++r) xj[r] -= tq[r];
       }
-      const index_t p0 = l.col_begin(j);
       const value_t piv = Lx[p0];
       for (index_t r = 0; r < nrhs; ++r) xj[r] /= piv;
       for (index_t p = p0 + 1; p < l.col_end(j); ++p) {
@@ -283,26 +336,32 @@ void parallel_trisolve_multi(const CscMatrix& l, const LevelSchedule& schedule,
         for (index_t r = 0; r < nrhs; ++r) tq[r] = lv * xj[r];
       }
     };
-    run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
-              solve_column);
+    for (index_t lev = 0; lev < schedule.levels(); ++lev)
+      run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
+                [&](index_t t) { guard.run([&] { solve_column(t); }); });
   }
+  guard.rethrow_if_failed();
 }
 
-void parallel_trisolve_multi(const CscMatrix& l, const AggregateSchedule& agg,
-                             const UpdateSlotMap& umap, value_t* xp,
-                             index_t nrhs, index_t ldp, value_t* terms) {
+void trisolve_multi_levels(const CscMatrix& l, const AggregateSchedule& agg,
+                           const UpdateSlotMap& umap, value_t* xp,
+                           index_t nrhs, index_t ldp, value_t* terms,
+                           [[maybe_unused]] bool serial) {
   const value_t* Lx = l.values.data();
   const index_t* colptr = l.colptr.data();
   const index_t* slot = umap.slot.data();
   const index_t* rptr = umap.row_ptr.data();
+  util::AbortGuard guard;
   // Chain fusion still pays here (fewer barriers), but bundles degenerate
   // to sequential lanes: the RHS loop is already the vector direction, and
   // serial lanes are bit-identical to lock-step by the bundle contract.
 #ifdef SYMPILER_HAS_OPENMP
-#pragma omp parallel
+#pragma omp parallel if (!serial)
 #endif
-  for (index_t lev = 0; lev < agg.levels(); ++lev) {
+  {
     const auto run_task = [&](index_t t) {
+      const index_t jf = agg.items[agg.task_ptr[t]];
+      maybe_inject_pivot_fault(jf, Lx[colptr[jf]]);
       for (index_t k = agg.task_ptr[t]; k < agg.task_ptr[t + 1]; ++k) {
         const index_t j = agg.items[k];
         value_t* xj = xp + static_cast<std::int64_t>(j) * ldp;
@@ -321,29 +380,66 @@ void parallel_trisolve_multi(const CscMatrix& l, const AggregateSchedule& agg,
         }
       }
     };
-    run_level(agg.level_ptr[lev], agg.level_ptr[lev + 1], run_task);
+    for (index_t lev = 0; lev < agg.levels(); ++lev)
+      run_level(agg.level_ptr[lev], agg.level_ptr[lev + 1],
+                [&](index_t t) { guard.run([&] { run_task(t); }); });
   }
+  guard.rethrow_if_failed();
 }
 
-void parallel_trisolve(const CscMatrix& l, const core::TriSolvePlan& plan,
-                       std::span<value_t> x, core::Workspace& ws) {
+}  // namespace
+
+void parallel_trisolve_multi(const CscMatrix& l, const LevelSchedule& schedule,
+                             const UpdateSlotMap& umap, value_t* xp,
+                             index_t nrhs, index_t ldp, value_t* terms) {
+  trisolve_multi_levels(l, schedule, umap, xp, nrhs, ldp, terms,
+                        /*serial=*/false);
+}
+
+void parallel_trisolve_multi(const CscMatrix& l, const AggregateSchedule& agg,
+                             const UpdateSlotMap& umap, value_t* xp,
+                             index_t nrhs, index_t ldp, value_t* terms) {
+  trisolve_multi_levels(l, agg, umap, xp, nrhs, ldp, terms, /*serial=*/false);
+}
+
+bool parallel_trisolve(const CscMatrix& l, const core::TriSolvePlan& plan,
+                       std::span<value_t> x, core::Workspace& ws,
+                       Status* fallback_error) {
   SYMPILER_CHECK(plan.path == core::ExecutionPath::ParallelTriSolve,
                  "parallel_trisolve: plan path is not ParallelTriSolve");
   core::WorkspaceDims dims = plan.workspace;
-  dims.rhs_block = 0;  // single RHS: terms buffer only, no packed block
+  dims.rhs_block = 1;  // one packed column: the pre-sweep snapshot of x
   ws.ensure(dims);
-  if (!plan.agg.empty())
-    parallel_trisolve(l, plan.agg, plan.update_map, x, ws.terms());
-  else
-    parallel_trisolve(l, plan.schedule, plan.update_map, x, ws.terms());
+  // The sweep solves in place, so the serial fallback needs the input
+  // back: snapshot it into the (otherwise idle) packed-RHS column.
+  value_t* snap = ws.rhs_block();
+  std::copy(x.begin(), x.end(), snap);
+  const auto sweep = [&](bool serial) {
+    if (!plan.agg.empty())
+      trisolve_levels(l, plan.agg, plan.update_map, x, ws.terms(), serial);
+    else
+      trisolve_levels(l, plan.schedule, plan.update_map, x, ws.terms(),
+                      serial);
+  };
+  try {
+    sweep(/*serial=*/false);
+    return false;
+  } catch (const std::exception& e) {
+    // Infrastructure fault mid-sweep: restore the input and re-run the
+    // same schedule serially — bit-identical by the determinism contract.
+    if (fallback_error != nullptr) *fallback_error = status_of(e);
+    std::copy(snap, snap + x.size(), x.begin());
+    sweep(/*serial=*/true);
+    return true;
+  }
 }
 
-void parallel_trisolve_batch(const CscMatrix& l, const core::TriSolvePlan& plan,
+bool parallel_trisolve_batch(const CscMatrix& l, const core::TriSolvePlan& plan,
                              std::span<value_t> xs, index_t nrhs,
-                             core::Workspace& ws) {
+                             core::Workspace& ws, Status* fallback_error) {
   SYMPILER_CHECK(plan.path == core::ExecutionPath::ParallelTriSolve,
                  "parallel_trisolve_batch: plan path is not ParallelTriSolve");
-  if (nrhs <= 0) return;
+  if (nrhs <= 0) return false;
   const index_t n = l.cols();
   // Blocks sweep the level schedule sequentially (parallelism lives inside
   // each level), so no lane narrowing applies.
@@ -354,17 +450,33 @@ void parallel_trisolve_batch(const CscMatrix& l, const core::TriSolvePlan& plan,
   ws.ensure(dims);
   value_t* xp = ws.rhs_block();
   value_t* terms = ws.terms().data();
+  bool degraded = false;
   for (index_t r0 = 0; r0 < nrhs; r0 += bw) {
     const index_t nb = std::min(bw, nrhs - r0);
     value_t* x0 = xs.data() + static_cast<std::size_t>(r0) * n;
     blas::pack_rhs(n, nb, x0, n, xp, nb);
-    if (!plan.agg.empty())
-      parallel_trisolve_multi(l, plan.agg, plan.update_map, xp, nb, nb, terms);
-    else
-      parallel_trisolve_multi(l, plan.schedule, plan.update_map, xp, nb, nb,
-                              terms);
+    const auto sweep = [&](bool serial) {
+      if (!plan.agg.empty())
+        trisolve_multi_levels(l, plan.agg, plan.update_map, xp, nb, nb, terms,
+                              serial);
+      else
+        trisolve_multi_levels(l, plan.schedule, plan.update_map, xp, nb, nb,
+                              terms, serial);
+    };
+    try {
+      sweep(/*serial=*/false);
+    } catch (const std::exception& e) {
+      // The block's input columns are untouched until unpack — repack
+      // them and re-sweep serially (bit-identical).
+      if (!degraded && fallback_error != nullptr)
+        *fallback_error = status_of(e);
+      degraded = true;
+      blas::pack_rhs(n, nb, x0, n, xp, nb);
+      sweep(/*serial=*/true);
+    }
     blas::unpack_rhs(n, nb, xp, nb, x0, n);
   }
+  return degraded;
 }
 
 namespace {
@@ -376,7 +488,8 @@ namespace {
 /// member are either earlier members or earlier aggregate levels).
 void cholesky_levels(const core::CholeskySets& sets, const LevelSchedule* flat,
                      const AggregateSchedule* agg, const CscMatrix& a_lower,
-                     std::span<value_t> panels) {
+                     std::span<value_t> panels,
+                     [[maybe_unused]] bool serial) {
   const solvers::SupernodalLayout& layout = sets.layout;
   // Plan-sized scratch dimensions (pure layout reads); each OS thread
   // keeps one grow-only workspace across calls and plans, so a warm
@@ -389,11 +502,19 @@ void cholesky_levels(const core::CholeskySets& sets, const LevelSchedule* flat,
   static thread_local core::Workspace ws;
   ws.ensure(dims);
   scatter_into_panels(layout, a_lower, panels, ws.map());
+  util::AbortGuard guard;
 #ifdef SYMPILER_HAS_OPENMP
-#pragma omp parallel
+#pragma omp parallel if (!serial)
 #endif
   {
-    ws.ensure(dims);
+    // Per-worker workspace growth can fail (allocation); contain it and
+    // let the barrier below publish the flag before any level body runs
+    // (a failed worker's spans stay empty but are never dereferenced —
+    // guard.run skips every body once the flag is set).
+    guard.run([&] { ws.ensure(dims); });
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp barrier
+#endif
     const std::span<value_t> work_span = ws.update();
     const std::span<index_t> map_span = ws.map();
     value_t* const work_data = work_span.data();
@@ -425,7 +546,20 @@ void cholesky_levels(const core::CholeskySets& sets, const LevelSchedule* flat,
             dst[map_data[drows[ref.p1 + r]]] += src[r];
         }
       }
-      blas::potrf_lower(w, panel, m);
+      if (SYMPILER_FAULT_POINT(util::FaultSite::kPivot))
+        throw numerical_error(
+            "cholesky: injected pivot failure (fault site pivot, parallel)",
+            c1, panel[0]);
+      try {
+        blas::potrf_lower(w, panel, m);
+      } catch (const numerical_error& e) {
+        // The dense kernel knows only the local column; re-anchor at the
+        // supernode's global first column (matches the serial executor).
+        throw numerical_error(std::string(e.what()) +
+                                  " (supernode starting at column " +
+                                  std::to_string(c1) + ")",
+                              c1, panel[0]);
+      }
       if (m > w)
         blas::trsm_right_lower_trans(m - w, w, panel, m, panel + w, m);
     };
@@ -433,16 +567,21 @@ void cholesky_levels(const core::CholeskySets& sets, const LevelSchedule* flat,
       for (index_t lev = 0; lev < agg->levels(); ++lev)
         run_level_dynamic(agg->level_ptr[lev], agg->level_ptr[lev + 1],
                           [&](index_t t) {
-                            for (index_t k = agg->task_ptr[t];
-                                 k < agg->task_ptr[t + 1]; ++k)
-                              factor_supernode(agg->items[k]);
+                            guard.run([&] {
+                              for (index_t k = agg->task_ptr[t];
+                                   k < agg->task_ptr[t + 1]; ++k)
+                                factor_supernode(agg->items[k]);
+                            });
                           });
     } else {
       for (index_t lev = 0; lev < flat->levels(); ++lev)
-        run_level_dynamic(flat->level_ptr[lev], flat->level_ptr[lev + 1],
-                          [&](index_t t) { factor_supernode(flat->items[t]); });
+        run_level_dynamic(
+            flat->level_ptr[lev], flat->level_ptr[lev + 1], [&](index_t t) {
+              guard.run([&] { factor_supernode(flat->items[t]); });
+            });
     }
   }
+  guard.rethrow_if_failed();
 }
 
 }  // namespace
@@ -450,23 +589,39 @@ void cholesky_levels(const core::CholeskySets& sets, const LevelSchedule* flat,
 void parallel_cholesky(const core::CholeskySets& sets,
                        const LevelSchedule& schedule,
                        const CscMatrix& a_lower, std::span<value_t> panels) {
-  cholesky_levels(sets, &schedule, nullptr, a_lower, panels);
+  cholesky_levels(sets, &schedule, nullptr, a_lower, panels,
+                  /*serial=*/false);
 }
 
 void parallel_cholesky(const core::CholeskySets& sets,
                        const AggregateSchedule& agg, const CscMatrix& a_lower,
                        std::span<value_t> panels) {
-  cholesky_levels(sets, nullptr, &agg, a_lower, panels);
+  cholesky_levels(sets, nullptr, &agg, a_lower, panels, /*serial=*/false);
 }
 
-void parallel_cholesky(const core::CholeskyPlan& plan,
-                       const CscMatrix& a_lower, std::span<value_t> panels) {
+bool parallel_cholesky(const core::CholeskyPlan& plan,
+                       const CscMatrix& a_lower, std::span<value_t> panels,
+                       Status* fallback_error) {
   SYMPILER_CHECK(plan.path == core::ExecutionPath::ParallelSupernodal,
                  "parallel_cholesky: plan path is not ParallelSupernodal");
-  if (!plan.agg.empty())
-    cholesky_levels(plan.sets, nullptr, &plan.agg, a_lower, panels);
-  else
-    cholesky_levels(plan.sets, &plan.schedule, nullptr, a_lower, panels);
+  const LevelSchedule* flat = plan.agg.empty() ? &plan.schedule : nullptr;
+  const AggregateSchedule* agg = plan.agg.empty() ? nullptr : &plan.agg;
+  try {
+    cholesky_levels(plan.sets, flat, agg, a_lower, panels, /*serial=*/false);
+    return false;
+  } catch (const numerical_error&) {
+    // A pivot failure is a property of the data: the serial re-run would
+    // hit the same pivot, so surface it — the facade's shift-retry ladder
+    // owns numeric recovery.
+    throw;
+  } catch (const std::exception& e) {
+    // Infrastructure fault (workspace growth, injected fault): re-scatter
+    // A and re-run the same schedule serially — bit-identical by the
+    // determinism contract.
+    if (fallback_error != nullptr) *fallback_error = status_of(e);
+    cholesky_levels(plan.sets, flat, agg, a_lower, panels, /*serial=*/true);
+    return true;
+  }
 }
 
 namespace {
@@ -501,18 +656,27 @@ void panel_forward_levels(const solvers::SupernodalLayout& layout,
                           const UpdateSlotMap& umap,
                           std::span<const value_t> panels, value_t* xp,
                           index_t nrhs, index_t ldp, value_t* terms,
-                          index_t max_tail) {
+                          index_t max_tail, [[maybe_unused]] bool serial) {
   const index_t* slot = umap.slot.data();
   const index_t* rptr = umap.row_ptr.data();
   const core::WorkspaceDims tail_dims = panel_tail_dims(max_tail, ldp);
+  util::AbortGuard guard;
 #ifdef SYMPILER_HAS_OPENMP
-#pragma omp parallel
+#pragma omp parallel if (!serial)
 #endif
   {
     core::Workspace& tls = panel_tls_workspace();
-    tls.ensure(tail_dims);
+    guard.run([&] { tls.ensure(tail_dims); });
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp barrier
+#endif
     value_t* tail = tls.tail().data();
     const auto solve_supernode = [&](index_t s) {
+      if (SYMPILER_FAULT_POINT(util::FaultSite::kPivot))
+        throw numerical_error(
+            "panel solve: injected pivot failure (fault site pivot, "
+            "parallel)",
+            layout.sn.start[s], panels[layout.panel_ptr[s]]);
       const index_t c1 = layout.sn.start[s];
       const index_t w = layout.width(s);
       const index_t m = layout.nrows(s);
@@ -546,16 +710,22 @@ void panel_forward_levels(const solvers::SupernodalLayout& layout,
       for (index_t lev = 0; lev < agg->levels(); ++lev)
         run_level(agg->level_ptr[lev], agg->level_ptr[lev + 1],
                   [&](index_t t) {
-                    for (index_t k = agg->task_ptr[t]; k < agg->task_ptr[t + 1];
-                         ++k)
-                      solve_supernode(agg->items[k]);
+                    guard.run([&] {
+                      for (index_t k = agg->task_ptr[t];
+                           k < agg->task_ptr[t + 1]; ++k)
+                        solve_supernode(agg->items[k]);
+                    });
                   });
     } else {
       for (index_t lev = 0; lev < schedule.levels(); ++lev)
-        run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
-                  [&](index_t t) { solve_supernode(schedule.items[t]); });
+        run_level(
+            schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
+            [&](index_t t) {
+              guard.run([&] { solve_supernode(schedule.items[t]); });
+            });
     }
   }
+  guard.rethrow_if_failed();
 }
 
 /// Backward sweep over reversed levels. No privatization needed: each
@@ -565,14 +735,19 @@ void panel_backward_levels(const solvers::SupernodalLayout& layout,
                            const LevelSchedule& schedule,
                            const AggregateSchedule* agg,
                            std::span<const value_t> panels, value_t* xp,
-                           index_t nrhs, index_t ldp, index_t max_tail) {
+                           index_t nrhs, index_t ldp, index_t max_tail,
+                           [[maybe_unused]] bool serial) {
   const core::WorkspaceDims tail_dims = panel_tail_dims(max_tail, ldp);
+  util::AbortGuard guard;
 #ifdef SYMPILER_HAS_OPENMP
-#pragma omp parallel
+#pragma omp parallel if (!serial)
 #endif
   {
     core::Workspace& tls = panel_tls_workspace();
-    tls.ensure(tail_dims);
+    guard.run([&] { tls.ensure(tail_dims); });
+#ifdef SYMPILER_HAS_OPENMP
+#pragma omp barrier
+#endif
     value_t* tail = tls.tail().data();
     const auto solve_supernode = [&](index_t s) {
       const index_t c1 = layout.sn.start[s];
@@ -601,28 +776,34 @@ void panel_backward_levels(const solvers::SupernodalLayout& layout,
       for (index_t lev = agg->levels() - 1; lev >= 0; --lev)
         run_level(agg->level_ptr[lev], agg->level_ptr[lev + 1],
                   [&](index_t t) {
-                    for (index_t k = agg->task_ptr[t + 1] - 1;
-                         k >= agg->task_ptr[t]; --k)
-                      solve_supernode(agg->items[k]);
+                    guard.run([&] {
+                      for (index_t k = agg->task_ptr[t + 1] - 1;
+                           k >= agg->task_ptr[t]; --k)
+                        solve_supernode(agg->items[k]);
+                    });
                   });
     } else {
       for (index_t lev = schedule.levels() - 1; lev >= 0; --lev)
-        run_level(schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
-                  [&](index_t t) { solve_supernode(schedule.items[t]); });
+        run_level(
+            schedule.level_ptr[lev], schedule.level_ptr[lev + 1],
+            [&](index_t t) {
+              guard.run([&] { solve_supernode(schedule.items[t]); });
+            });
     }
   }
+  guard.rethrow_if_failed();
 }
 
 }  // namespace
 
-void parallel_panel_solve_batch(const core::CholeskyPlan& plan,
+bool parallel_panel_solve_batch(const core::CholeskyPlan& plan,
                                 std::span<const value_t> panels,
                                 std::span<value_t> bx, index_t nrhs,
-                                core::Workspace& ws) {
+                                core::Workspace& ws, Status* fallback_error) {
   SYMPILER_CHECK(plan.path == core::ExecutionPath::ParallelSupernodal,
                  "parallel_panel_solve_batch: plan path is not "
                  "ParallelSupernodal");
-  if (nrhs <= 0) return;
+  if (nrhs <= 0) return false;
   const solvers::SupernodalLayout& layout = plan.sets.layout;
   const index_t n = layout.n;
   const index_t bw =
@@ -636,20 +817,45 @@ void parallel_panel_solve_batch(const core::CholeskyPlan& plan,
   dims.max_tail = 0;
   dims.need_map = false;
   dims.need_dense = false;
-  ws.ensure(dims);
+  try {
+    ws.ensure(dims);
+  } catch (const std::exception& e) {
+    // No packed block, no level sweep — run the whole batch through the
+    // sequential blocked driver instead (bit-identical per column, with
+    // per-thread workspaces of its own). bx is untouched at this point.
+    if (fallback_error != nullptr) *fallback_error = status_of(e);
+    core::blocked_panel_solve_batch(layout, panels, plan.workspace, bx, nrhs);
+    return true;
+  }
   value_t* xp = ws.rhs_block();
   value_t* terms = ws.terms().data();
+  bool degraded = false;
+  const AggregateSchedule* agg = plan.agg.empty() ? nullptr : &plan.agg;
   for (index_t r0 = 0; r0 < nrhs; r0 += bw) {
     const index_t nb = std::min(bw, nrhs - r0);
     value_t* x0 = bx.data() + static_cast<std::size_t>(r0) * n;
     blas::pack_rhs(n, nb, x0, n, xp, nb);
-    const AggregateSchedule* agg = plan.agg.empty() ? nullptr : &plan.agg;
-    panel_forward_levels(layout, plan.schedule, agg, plan.solve_update_map,
-                         panels, xp, nb, nb, terms, plan.workspace.max_tail);
-    panel_backward_levels(layout, plan.schedule, agg, panels, xp, nb, nb,
-                          plan.workspace.max_tail);
+    const auto sweep = [&](bool serial) {
+      panel_forward_levels(layout, plan.schedule, agg, plan.solve_update_map,
+                           panels, xp, nb, nb, terms, plan.workspace.max_tail,
+                           serial);
+      panel_backward_levels(layout, plan.schedule, agg, panels, xp, nb, nb,
+                            plan.workspace.max_tail, serial);
+    };
+    try {
+      sweep(/*serial=*/false);
+    } catch (const std::exception& e) {
+      // The block's input columns are untouched until unpack — repack
+      // them and re-sweep serially (bit-identical).
+      if (!degraded && fallback_error != nullptr)
+        *fallback_error = status_of(e);
+      degraded = true;
+      blas::pack_rhs(n, nb, x0, n, xp, nb);
+      sweep(/*serial=*/true);
+    }
     blas::unpack_rhs(n, nb, xp, nb, x0, n);
   }
+  return degraded;
 }
 
 }  // namespace sympiler::parallel

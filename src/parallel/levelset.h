@@ -22,6 +22,19 @@
 // The level schedule and slot map are part of a core::ExecutionPlan: the
 // Planner builds them once per pattern and the plan-driven overloads
 // below interpret them.
+//
+// Failure domains. Every parallel region below contains exceptions with a
+// util::AbortGuard — the first throw turns every remaining task body into
+// a no-op (the level loops themselves never branch on the flag, keeping
+// the worksharing sequence uniform across the team) and is rethrown once,
+// outside the region, so a mid-sweep failure can never std::terminate the
+// process or strand threads on mismatched barriers. The plan-driven overloads additionally
+// degrade: an infrastructure fault (workspace growth, injected faults)
+// triggers a serial re-execution of the same schedule — bit-identical by
+// the determinism contract — and the overload reports the degradation to
+// its caller instead of failing the solve. Numeric pivot failures in the
+// Cholesky sweep are data errors (a serial re-run would hit the same
+// pivot), so they propagate to the facade's shift-retry ladder.
 #pragma once
 
 #include <cstdint>
@@ -83,19 +96,28 @@ void parallel_trisolve_multi(const CscMatrix& l, const AggregateSchedule& agg,
 
 /// Plan-driven interpreter: runs the schedule + slot map carried by a
 /// trisolve plan whose path is ExecutionPath::ParallelTriSolve. `ws` is
-/// the caller's plan-sized workspace (holds the shared terms buffer;
-/// grow-only, so a warm solve allocates nothing).
-void parallel_trisolve(const CscMatrix& l, const core::TriSolvePlan& plan,
-                       std::span<value_t> x, core::Workspace& ws);
+/// the caller's plan-sized workspace (holds the shared terms buffer plus a
+/// one-column snapshot of x; grow-only, so a warm solve allocates
+/// nothing). On a parallel-sweep failure the input is restored from the
+/// snapshot and the sweep re-runs serially (bit-identical); returns true
+/// when that fallback was taken, recording the triggering failure in
+/// `*fallback_error` when non-null.
+bool parallel_trisolve(const CscMatrix& l, const core::TriSolvePlan& plan,
+                       std::span<value_t> x, core::Workspace& ws,
+                       Status* fallback_error = nullptr);
 
 /// Plan-driven blocked multi-RHS level-set solve: `xs` holds nrhs
 /// column-major dense RHS of length n. RHS columns are tiled into packed
 /// blocks (core::rhs_block_width) and each block sweeps the level schedule
 /// once; per column the result is bit-identical to looped single-RHS
-/// solves. `ws` carries the packed block and terms buffers.
-void parallel_trisolve_batch(const CscMatrix& l, const core::TriSolvePlan& plan,
+/// solves. `ws` carries the packed block and terms buffers. A failing
+/// block is repacked from its (still pristine) input columns and re-swept
+/// serially; returns true when any block degraded, recording the first
+/// failure in `*fallback_error` when non-null.
+bool parallel_trisolve_batch(const CscMatrix& l, const core::TriSolvePlan& plan,
                              std::span<value_t> xs, index_t nrhs,
-                             core::Workspace& ws);
+                             core::Workspace& ws,
+                             Status* fallback_error = nullptr);
 
 /// Parallel supernodal left-looking Cholesky using the static inspection
 /// sets plus a supernode level schedule. Writes the factor into `panels`
@@ -115,9 +137,14 @@ void parallel_cholesky(const core::CholeskySets& sets,
 
 /// Plan-driven interpreter: sets + schedule come from the plan (path must
 /// be ExecutionPath::ParallelSupernodal); interprets the plan's coarsened
-/// schedule when present, the flat levels otherwise.
-void parallel_cholesky(const core::CholeskyPlan& plan,
-                       const CscMatrix& a_lower, std::span<value_t> panels);
+/// schedule when present, the flat levels otherwise. An infrastructure
+/// fault re-scatters A and re-runs the schedule serially (bit-identical);
+/// returns true when that fallback was taken, recording the failure in
+/// `*fallback_error` when non-null. numerical_error propagates — a pivot
+/// failure is a property of the data, not of the parallel execution.
+bool parallel_cholesky(const core::CholeskyPlan& plan,
+                       const CscMatrix& a_lower, std::span<value_t> panels,
+                       Status* fallback_error = nullptr);
 
 /// Plan-driven blocked multi-RHS solve over factored supernodal panels:
 /// packed RHS blocks sweep the plan's supernode level schedule — forward
@@ -126,10 +153,16 @@ void parallel_cholesky(const core::CholeskyPlan& plan,
 /// RHS column, bit-identical to the sequential panel solves; parallel
 /// inside each level. `ws` is the caller's shared workspace (packed block
 /// + terms); per-thread tail scratch lives in grow-only thread_local
-/// workspaces.
-void parallel_panel_solve_batch(const core::CholeskyPlan& plan,
+/// workspaces. Degrades on failure: if the shared workspace cannot grow,
+/// the whole batch falls back to core::blocked_panel_solve_batch
+/// (bit-identical per column); a block failing mid-sweep is repacked from
+/// its pristine input columns and re-swept serially. Returns true when any
+/// fallback was taken, recording the first failure in `*fallback_error`
+/// when non-null.
+bool parallel_panel_solve_batch(const core::CholeskyPlan& plan,
                                 std::span<const value_t> panels,
                                 std::span<value_t> bx, index_t nrhs,
-                                core::Workspace& ws);
+                                core::Workspace& ws,
+                                Status* fallback_error = nullptr);
 
 }  // namespace sympiler::parallel

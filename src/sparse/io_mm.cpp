@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -43,24 +44,42 @@ CscMatrix read_matrix_market(std::istream& in) {
   while (std::getline(in, line)) {
     if (!line.empty() && line[0] != '%') break;
   }
+  SYMPILER_CHECK(static_cast<bool>(in) && !line.empty() && line[0] != '%',
+                 "matrix market: missing size line");
   std::istringstream dims(line);
   long long nrows = -1, ncols = -1, nentries = -1;
   dims >> nrows >> ncols >> nentries;
-  SYMPILER_CHECK(nrows >= 0 && ncols >= 0 && nentries >= 0,
+  SYMPILER_CHECK(!dims.fail() && nrows >= 0 && ncols >= 0 && nentries >= 0,
                  "matrix market: bad size line");
+  // Dimensions must round-trip through index_t — a hostile header must
+  // fail here with a structured error, not overflow downstream arithmetic.
+  constexpr long long kIndexMax =
+      static_cast<long long>(std::numeric_limits<index_t>::max());
+  SYMPILER_CHECK(nrows <= kIndexMax && ncols <= kIndexMax &&
+                     nentries <= kIndexMax,
+                 "matrix market: dimensions exceed index range");
   if (symmetric)
     SYMPILER_CHECK(nrows == ncols, "matrix market: symmetric must be square");
 
   std::vector<Triplet> trip;
-  trip.reserve(static_cast<std::size_t>(nentries));
+  // Cap the up-front reservation: nentries is untrusted until the entries
+  // actually parse, and a lying header should hit "truncated entries"
+  // below, not a multi-gigabyte allocation here.
+  trip.reserve(static_cast<std::size_t>(
+      std::min<long long>(nentries, 1LL << 22)));
   for (long long k = 0; k < nentries; ++k) {
     long long i = 0, j = 0;
     double v = 1.0;
     in >> i >> j;
     if (!pattern) in >> v;
-    SYMPILER_CHECK(static_cast<bool>(in), "matrix market: truncated entries");
+    SYMPILER_CHECK(static_cast<bool>(in),
+                   "matrix market: truncated or malformed entry " +
+                       std::to_string(k + 1) + " of " +
+                       std::to_string(nentries));
     SYMPILER_CHECK(i >= 1 && i <= nrows && j >= 1 && j <= ncols,
-                   "matrix market: entry out of range");
+                   "matrix market: entry " + std::to_string(k + 1) +
+                       " coordinates (" + std::to_string(i) + ", " +
+                       std::to_string(j) + ") out of range");
     index_t r = static_cast<index_t>(i - 1);
     index_t c = static_cast<index_t>(j - 1);
     if (symmetric && r < c) std::swap(r, c);  // normalize to lower triangle

@@ -1,0 +1,65 @@
+// Exception containment for OpenMP parallel regions.
+//
+// An exception escaping an OpenMP worksharing construct is undefined
+// behavior (in practice std::terminate), so every parallel region in the
+// pipeline wraps its per-item body in an AbortGuard: the first exception
+// is captured, the failed flag cancels the remaining work (later items
+// see it and return immediately), and the caller rethrows once, outside
+// the region.
+//
+// Determinism of the cancellation: the flag is written before the level's
+// implicit barrier and every level starts with a fresh check after a
+// barrier, so all threads of the team make the same keep-going decision
+// per level — the worksharing constructs stay encountered uniformly, as
+// OpenMP requires. Within the failing level, items that already started
+// finish normally; items not yet started may or may not run (their output
+// is discarded by the rethrow anyway).
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+namespace sympiler::util {
+
+class AbortGuard {
+ public:
+  /// Run one work item; never throws out (required inside worksharing
+  /// constructs). Skips the item when a previous one already failed.
+  template <typename F>
+  void run(F&& f) noexcept {
+    if (failed()) return;
+    try {
+      std::forward<F>(f)();
+    } catch (...) {
+      capture(std::current_exception());
+    }
+  }
+
+  [[nodiscard]] bool failed() const {
+    return failed_.load(std::memory_order_acquire);
+  }
+
+  /// Record the first exception; later captures are dropped (one region,
+  /// one rethrow).
+  void capture(std::exception_ptr e) noexcept {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (error_ == nullptr) error_ = std::move(e);
+    }
+    failed_.store(true, std::memory_order_release);
+  }
+
+  /// Call after the parallel region has joined.
+  void rethrow_if_failed() {
+    if (error_ != nullptr) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::atomic<bool> failed_{false};
+  std::mutex mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace sympiler::util

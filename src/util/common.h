@@ -4,8 +4,8 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <stdexcept>
-#include <string>
+
+#include "util/status.h"
 
 namespace sympiler {
 
@@ -17,19 +17,9 @@ using index_t = std::int32_t;
 /// Numerical value type. The paper's suite is double precision throughout.
 using value_t = double;
 
-/// Thrown on structurally invalid inputs (bad CSC, dimension mismatch, ...).
-class invalid_matrix_error : public std::runtime_error {
- public:
-  explicit invalid_matrix_error(const std::string& what)
-      : std::runtime_error(what) {}
-};
-
-/// Thrown when a numerical method fails (non-SPD pivot, singular diagonal).
-class numerical_error : public std::runtime_error {
- public:
-  explicit numerical_error(const std::string& what)
-      : std::runtime_error(what) {}
-};
+// The exception hierarchy (invalid_matrix_error, numerical_error,
+// jit_unavailable_error, resource_exhausted_error — all deriving from
+// sympiler::Error over a structured Status) lives in util/status.h.
 
 #define SYMPILER_CHECK(cond, msg)                      \
   do {                                                 \

@@ -1,0 +1,127 @@
+#include "util/fault.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace sympiler::util {
+
+// Constant-initialized, and defined before g_env_armed below so the
+// static-init-time arm_from_env() call writes an already-live object.
+std::atomic<bool> FaultInjector::armed_{false};
+
+namespace {
+
+struct SiteCounters {
+  std::atomic<std::uint64_t> passes{0};
+};
+
+SiteCounters g_counters[kFaultSiteCount];
+std::atomic<std::uint64_t> g_fired{0};
+
+// The armed trigger. Written only by arm()/reset() (with armed_ false
+// during the write), read by the slow path under armed_ == true; the
+// release store to armed_ in arm() publishes the fields.
+std::atomic<int> g_site{-1};
+std::atomic<std::uint64_t> g_nth{0};
+std::atomic<std::uint64_t> g_count{0};
+
+const char* const kSiteNames[kFaultSiteCount] = {
+    "alloc", "jit-compile", "jit-load", "pivot", "cache-insert"};
+
+// Arm from SYMPILER_FAULT once, before main touches the library. A failed
+// parse leaves the injector disarmed (silent: no logging layer exists at
+// static-init time, and the test suite pins the parser directly).
+const bool g_env_armed = FaultInjector::arm_from_env();
+
+}  // namespace
+
+bool FaultInjector::should_fail_slow(FaultSite site) {
+  const int s = static_cast<int>(site);
+  const std::uint64_t pass =
+      1 + g_counters[s].passes.fetch_add(1, std::memory_order_relaxed);
+  if (s != g_site.load(std::memory_order_acquire)) return false;
+  const std::uint64_t nth = g_nth.load(std::memory_order_relaxed);
+  const std::uint64_t count = g_count.load(std::memory_order_relaxed);
+  // Overflow-safe window check: nth + count can wrap for "fire forever"
+  // triggers (count = UINT64_MAX).
+  if (pass < nth || pass - nth >= count) return false;
+  g_fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::arm(FaultSite site, std::uint64_t nth,
+                        std::uint64_t count) {
+  if (nth == 0) nth = 1;
+  armed_.store(false, std::memory_order_release);
+  for (SiteCounters& c : g_counters)
+    c.passes.store(0, std::memory_order_relaxed);
+  g_fired.store(0, std::memory_order_relaxed);
+  g_site.store(static_cast<int>(site), std::memory_order_relaxed);
+  g_nth.store(nth, std::memory_order_relaxed);
+  g_count.store(count == 0 ? 1 : count, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::reset() {
+  armed_.store(false, std::memory_order_release);
+  for (SiteCounters& c : g_counters)
+    c.passes.store(0, std::memory_order_relaxed);
+  g_fired.store(0, std::memory_order_relaxed);
+  g_site.store(-1, std::memory_order_relaxed);
+  g_nth.store(0, std::memory_order_relaxed);
+  g_count.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::arm_from_env() {
+  const char* spec = std::getenv("SYMPILER_FAULT");
+  if (spec == nullptr || *spec == '\0') return false;
+  FaultSite site{};
+  std::uint64_t nth = 0, count = 0;
+  if (!parse(spec, &site, &nth, &count)) return false;
+  arm(site, nth, count);
+  return true;
+}
+
+std::uint64_t FaultInjector::hits(FaultSite site) {
+  return g_counters[static_cast<int>(site)].passes.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fired() {
+  return g_fired.load(std::memory_order_relaxed);
+}
+
+const char* FaultInjector::name(FaultSite site) {
+  const int s = static_cast<int>(site);
+  if (s < 0 || s >= kFaultSiteCount) return "?";
+  return kSiteNames[s];
+}
+
+bool FaultInjector::parse(const char* spec, FaultSite* site,
+                          std::uint64_t* nth, std::uint64_t* count) {
+  if (spec == nullptr) return false;
+  const char* colon = std::strchr(spec, ':');
+  if (colon == nullptr || colon == spec) return false;
+  const std::string name(spec, colon);
+  int found = -1;
+  for (int s = 0; s < kFaultSiteCount; ++s)
+    if (name == kSiteNames[s]) found = s;
+  if (found < 0) return false;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(colon + 1, &end, 10);
+  if (end == colon + 1 || n == 0) return false;
+  unsigned long long c = 1;
+  if (*end == ':') {
+    const char* cstart = end + 1;
+    c = std::strtoull(cstart, &end, 10);
+    if (end == cstart || c == 0) return false;
+  }
+  if (*end != '\0') return false;
+  *site = static_cast<FaultSite>(found);
+  *nth = static_cast<std::uint64_t>(n);
+  *count = static_cast<std::uint64_t>(c);
+  return true;
+}
+
+}  // namespace sympiler::util

@@ -1,0 +1,37 @@
+#include "util/status.h"
+
+#include <sstream>
+
+namespace sympiler {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "Ok";
+    case ErrorCode::kInvalidInput:
+      return "InvalidInput";
+    case ErrorCode::kNumericBreakdown:
+      return "NumericBreakdown";
+    case ErrorCode::kJitUnavailable:
+      return "JitUnavailable";
+    case ErrorCode::kResourceExhausted:
+      return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "Ok";
+  std::ostringstream os;
+  os << sympiler::to_string(code) << ": " << message;
+  if (detail_index >= 0)
+    os << " (index " << detail_index << ", value " << detail_value << ")";
+  return os.str();
+}
+
+Status status_of(const std::exception& e) {
+  if (const auto* err = dynamic_cast<const Error*>(&e)) return err->status();
+  return Status{ErrorCode::kResourceExhausted, e.what()};
+}
+
+}  // namespace sympiler

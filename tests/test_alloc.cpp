@@ -128,20 +128,37 @@ TEST(ZeroAllocation, WarmTriangularSolveBatch) {
 #ifndef NDEBUG
 TEST(WorkspaceGuard, ConcurrentBorrowIsLoudInDebugBuilds) {
   // The PR 3 breaking note — solve() borrows the owner's workspace and is
-  // not concurrency-safe on one instance — is now an assert-on-concurrent-
+  // not concurrency-safe on one instance — is now a throw-on-concurrent-
   // entry guard, not a README footnote. A second borrow while one is live
-  // must throw (debug builds only; release builds compile the guard away).
+  // must throw (always in debug builds; release builds only when opted in
+  // below).
   core::Workspace ws;
   const core::Workspace::Borrow first(ws);
-  EXPECT_THROW(core::Workspace::Borrow{ws}, invalid_matrix_error);
+  EXPECT_THROW(core::Workspace::Borrow{ws}, resource_exhausted_error);
+}
+#endif
+
+TEST(WorkspaceGuard, OptInGuardWorksInEveryBuild) {
+  // SympilerOptions::guard_workspace promotes the borrow guard to release
+  // builds: set_guard(true) must make a concurrent borrow throw a
+  // kResourceExhausted error regardless of NDEBUG.
+  core::Workspace ws;
+  ws.set_guard(true);
+  const core::Workspace::Borrow first(ws);
+  try {
+    const core::Workspace::Borrow second(ws);
+    FAIL() << "second borrow did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted);
+  }
 }
 
 TEST(WorkspaceGuard, SequentialBorrowsAreFine) {
   core::Workspace ws;
+  ws.set_guard(true);
   { const core::Workspace::Borrow one(ws); }
   { const core::Workspace::Borrow two(ws); }  // released, re-borrowable
 }
-#endif
 
 #ifdef SYMPILER_HAS_OPENMP
 TEST(ZeroAllocation, WarmParallelFactorAndBatchSolve) {
