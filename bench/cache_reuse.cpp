@@ -19,6 +19,7 @@
 // machine-readable JSON (BENCH_cache.json) for the perf trajectory.
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -38,6 +39,7 @@
 #include "gen/generators.h"
 #include "gen/suite.h"
 #include "util/timer.h"
+#include "verify/verify.h"
 
 using namespace sympiler;
 
@@ -58,6 +60,12 @@ struct ProblemRow {
   /// Per-phase cold breakdown recorded by the Planner in the plan's
   /// evidence (etree/counts/pattern/schedule/slotmap seconds).
   core::PlanPhaseTimes phases;
+  /// Static plan verification (verify/verify.h) over the cold plan: check
+  /// count, wall seconds, and the share of cold symbolic time verification
+  /// would add if enabled — the overhead budget is < 10% of cold planning.
+  bool verify_ok = false;
+  int verify_checks = 0;
+  double verify_s = 0.0;
 };
 
 /// One row of the dedicated interpreter-vs-JIT kernel comparison:
@@ -316,12 +324,16 @@ void write_json(const std::vector<ProblemRow>& problems,
                  "     \"phases\": {\"transpose_s\": %.6e, \"etree_s\": %.6e, "
                  "\"counts_s\": %.6e, \"pattern_s\": %.6e, "
                  "\"assemble_s\": %.6e, \"schedule_s\": %.6e, "
-                 "\"slotmap_s\": %.6e}}%s\n",
+                 "\"slotmap_s\": %.6e},\n"
+                 "     \"verify\": {\"ok\": %s, \"checks\": %d, "
+                 "\"seconds\": %.6e, \"pct_of_cold\": %.2f}}%s\n",
                  p.id, p.name.c_str(), p.sym_cold, p.sym_warm, p.numeric,
                  p.numeric_jit, p.jit_compile,
                  p.jit_compiled ? "true" : "false", p.phases.transpose,
                  p.phases.etree, p.phases.counts, p.phases.pattern,
                  p.phases.assemble, p.phases.schedule, p.phases.slotmap,
+                 p.verify_ok ? "true" : "false", p.verify_checks, p.verify_s,
+                 p.sym_cold > 0.0 ? p.verify_s / p.sym_cold * 100.0 : 0.0,
                  i + 1 < problems.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"jit_kernels\": [\n");
@@ -335,7 +347,20 @@ void write_json(const std::vector<ProblemRow>& problems,
                  j.jit > 0.0 ? j.interp / j.jit : 0.0, j.compile,
                  i + 1 < jit.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"hardware_threads\": %u,\n",
+  // Suite-level verify overhead: geometric mean of the per-problem
+  // verify-time / cold-planning-time ratios (the <10% budget headline;
+  // tiny problems have noisy subtraction-based sym_cold denominators, so
+  // the aggregate is the stable number to track).
+  double log_sum = 0.0;
+  int pct_rows = 0;
+  for (const ProblemRow& p : problems)
+    if (p.sym_cold > 0.0 && p.verify_s > 0.0) {
+      log_sum += std::log(p.verify_s / p.sym_cold);
+      ++pct_rows;
+    }
+  std::fprintf(f, "  ],\n  \"verify_pct_of_cold_geomean\": %.2f,\n",
+               pct_rows > 0 ? std::exp(log_sum / pct_rows) * 100.0 : 0.0);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"warm_lookup_contention\": [\n");
   for (std::size_t i = 0; i < contention.size(); ++i) {
@@ -433,6 +458,20 @@ int main(int argc, char** argv) {
       if (!hit.hit) std::printf("!! warm lookup missed\n");
     });
 
+    // Static verification cost over the resident cold plan (the Debug
+    // default runs this inside plan_cholesky; timing it standalone here
+    // keeps the sym-cold column comparable to prior trajectories).
+    // audit_emitted_code stays off to match the wired default: the
+    // planner only audits emitted source when JIT is enabled, where the
+    // re-emission cost amortizes against the host-compiler invocation.
+    verify::VerifyOptions vopt;
+    vopt.audit_emitted_code = false;
+    const verify::Report vreport = verify::verify_plan(*cold.plan(), vopt);
+    const double verify_s = bench::bench_seconds(
+        [&] { (void)verify::verify_plan(*cold.plan(), vopt); });
+    if (!vreport.ok())
+      std::printf("!! verify found issues: %s\n", vreport.to_string().c_str());
+
     char jit_cell[16];
     if (jit_compiled)
       std::snprintf(jit_cell, sizeof jit_cell, "%12.5f", numeric_jit);
@@ -448,7 +487,8 @@ int main(int argc, char** argv) {
       amortized.push_back(sym_warm / t_numeric);
     rows.push_back({spec.id, spec.paper_name, sym_cold, sym_warm, t_numeric,
                     numeric_jit, jit_compile, jit_compiled,
-                    cold.plan()->evidence.phases});
+                    cold.plan()->evidence.phases, vreport.ok(),
+                    static_cast<int>(vreport.checks), verify_s});
   }
   bench::print_rule(131);
   std::printf(
@@ -459,19 +499,22 @@ int main(int argc, char** argv) {
   // Per-phase cold breakdown (the Planner stamps these into the plan's
   // evidence): where the near-linear pipeline actually spends its time.
   std::printf("\nCold planning phase breakdown (ms)\n");
-  bench::print_rule(100);
-  std::printf("%2s %-14s | %9s %8s %8s %9s %9s %9s %8s\n", "id", "name",
-              "transpose", "etree", "counts", "pattern", "assemble",
-              "schedule", "slotmap");
-  bench::print_rule(100);
+  bench::print_rule(124);
+  std::printf("%2s %-14s | %9s %8s %8s %9s %9s %9s %8s | %8s %7s %8s\n", "id",
+              "name", "transpose", "etree", "counts", "pattern", "assemble",
+              "schedule", "slotmap", "verify", "checks", "vfy/cold");
+  bench::print_rule(124);
   for (const ProblemRow& p : rows) {
     const core::PlanPhaseTimes& t = p.phases;
-    std::printf("%2d %-14s | %9.2f %8.2f %8.2f %9.2f %9.2f %9.2f %8.2f\n",
-                p.id, p.name.c_str(), t.transpose * 1e3, t.etree * 1e3,
-                t.counts * 1e3, t.pattern * 1e3, t.assemble * 1e3,
-                t.schedule * 1e3, t.slotmap * 1e3);
+    std::printf(
+        "%2d %-14s | %9.2f %8.2f %8.2f %9.2f %9.2f %9.2f %8.2f | %8.2f %7d "
+        "%7.1f%%\n",
+        p.id, p.name.c_str(), t.transpose * 1e3, t.etree * 1e3, t.counts * 1e3,
+        t.pattern * 1e3, t.assemble * 1e3, t.schedule * 1e3, t.slotmap * 1e3,
+        p.verify_s * 1e3, p.verify_checks,
+        p.sym_cold > 0.0 ? p.verify_s / p.sym_cold * 100.0 : 0.0);
   }
-  bench::print_rule(100);
+  bench::print_rule(124);
 
   const std::vector<JitRow> jit_rows = run_jit_kernels(smoke);
   const std::vector<ContentionRow> contention = run_contention(smoke);

@@ -5,7 +5,7 @@
 // execution plan the facade would cache.
 //
 // Usage:
-//   sympiler_cli --mtx path/to/matrix.mtx [--dump-code] [--explain]
+//   sympiler_cli --mtx path/to/matrix.mtx [--dump-code] [--explain] [--verify]
 //   sympiler_cli --suite 10 [--dump-code] [--no-low-level] [--no-vsblock]
 #include <cstdio>
 #include <cstring>
@@ -20,9 +20,11 @@
 #include "gen/suite.h"
 #include "solvers/simplicial.h"
 #include "solvers/supernodal.h"
+#include "core/planner.h"
 #include "sparse/io_mm.h"
 #include "sparse/ops.h"
 #include "util/timer.h"
+#include "verify/verify.h"
 
 using namespace sympiler;
 
@@ -31,8 +33,34 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: sympiler_cli (--mtx FILE | --suite ID) [--dump-code] "
-               "[--explain] [--no-low-level] [--no-vsblock]\n");
+               "[--explain] [--verify] [--no-low-level] [--no-vsblock]\n");
   return 2;
+}
+
+/// --verify: build the cold plans (Cholesky + a dense-RHS trisolve over
+/// the factor pattern) and print the static verifier's report beside what
+/// --explain shows — the operational view of the plan-invariant contract.
+/// Exits nonzero on findings so scripts can gate on it.
+int run_verify(const CscMatrix& a, core::SympilerOptions opt) {
+  opt.verify_plan = false;  // the planner must not throw before we print
+  core::PlannerConfig cfg;
+  cfg.options = opt;
+  const core::Planner planner(cfg);
+  const core::CholeskyPlan cplan = planner.plan_cholesky(a);
+  verify::VerifyOptions vo;
+  vo.audit_emitted_code = cplan.evidence.jit_eligible;
+  const verify::Report creport = verify::verify_plan(cplan, vo);
+  std::printf("cholesky %s\n", creport.to_string().c_str());
+
+  const CscMatrix& l = cplan.sets.sym.l_pattern;
+  std::vector<index_t> beta(static_cast<std::size_t>(l.cols()));
+  for (index_t j = 0; j < l.cols(); ++j) beta[j] = j;
+  const core::TriSolvePlan tplan = planner.plan_trisolve(l, beta);
+  verify::VerifyOptions tvo;
+  tvo.audit_emitted_code = tplan.evidence.jit_eligible;
+  const verify::Report treport = verify::verify_plan(tplan, l, beta, tvo);
+  std::printf("trisolve %s\n", treport.to_string().c_str());
+  return creport.ok() && treport.ok() ? 0 : 1;
 }
 
 /// --explain: factor through the api::Solver facade and print the
@@ -63,6 +91,7 @@ int main(int argc, char** argv) {
   int suite_id = 0;
   bool dump_code = false;
   bool want_explain = false;
+  bool want_verify = false;
   core::SympilerOptions opt;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--mtx") && i + 1 < argc) {
@@ -73,6 +102,8 @@ int main(int argc, char** argv) {
       dump_code = true;
     } else if (!std::strcmp(argv[i], "--explain")) {
       want_explain = true;
+    } else if (!std::strcmp(argv[i], "--verify")) {
+      want_verify = true;
     } else if (!std::strcmp(argv[i], "--no-low-level")) {
       opt.low_level = false;
     } else if (!std::strcmp(argv[i], "--no-vsblock")) {
@@ -91,6 +122,10 @@ int main(int argc, char** argv) {
     SYMPILER_CHECK(a.rows() == a.cols(), "input must be square symmetric");
     std::printf("input: %s\n", a.to_string().c_str());
 
+    if (want_verify) {
+      const int rc = run_verify(a, opt);
+      if (rc != 0 || !want_explain) return rc;
+    }
     if (want_explain) {
       explain(a, opt);
       return 0;

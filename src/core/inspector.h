@@ -48,6 +48,7 @@ struct PlanPhaseTimes {
   double assemble = 0.0;   ///< layout/updates/rowpat region wall time
   double schedule = 0.0;   ///< supernode level schedule (parallel gate)
   double slotmap = 0.0;    ///< privatized update-slot map (parallel gate)
+  double verify = 0.0;     ///< static plan verification (verify/verify.h)
 };
 
 /// Inspection sets for sparse triangular solve L x = b.

@@ -98,6 +98,20 @@ struct SympilerOptions {
   /// facades configured with it: concurrent solve() on one instance then
   /// throws kResourceExhausted instead of silently corrupting scratch.
   bool guard_workspace = false;
+
+  /// Run the static plan verifier (verify/verify.h) on every freshly built
+  /// plan: dependence closure of the schedules, symbolic happens-before
+  /// replay of the slot maps, workspace coverage, emitted-code audit when
+  /// the plan is headed for the JIT. A finding throws kPlanInvalid from
+  /// plan time — before any numeric code touches the plan. O(plan) work on
+  /// the cold path only; warm cache hits never re-verify. On by default in
+  /// Debug builds, opt-in for Release. Not hashed into the cache key: it
+  /// changes whether a plan is checked, never what the plan contains.
+#ifndef NDEBUG
+  bool verify_plan = true;
+#else
+  bool verify_plan = false;
+#endif
 };
 
 }  // namespace sympiler::core

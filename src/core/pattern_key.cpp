@@ -89,7 +89,11 @@ std::uint64_t hash_options(const SympilerOptions& opt) {
   // The jit dispatch fields (jit / jit_warm_calls / jit_max_source_kb) are
   // deliberately NOT hashed: they change who executes a plan, never what
   // the plan contains, so Solvers with different dispatch modes must share
-  // one cached plan (and its compiled kernel) per pattern.
+  // one cached plan (and its compiled kernel) per pattern. The robustness
+  // knobs (validate_input .. guard_workspace) and verify_plan are excluded
+  // for the same reason: verification checks a plan, it never changes one,
+  // so a Debug build (verify on) and a Release build (verify off) agree on
+  // every cache key.
   return h;
 }
 

@@ -5,7 +5,9 @@
 #include <sstream>
 
 #include "sparse/ops.h"
+#include "util/status.h"
 #include "util/timer.h"
+#include "verify/verify.h"
 
 namespace sympiler::core {
 
@@ -67,8 +69,41 @@ std::string summarize(const char* kind, const PatternKey& key,
        << ", pattern " << t.pattern * 1e3 << ", assemble " << t.assemble * 1e3
        << ", schedule " << t.schedule * 1e3 << ", slotmap "
        << t.slotmap * 1e3;
+    if (t.verify > 0.0) os << ", verify " << t.verify * 1e3;
   }
   return os.str();
+}
+
+/// Emitted-code audit is worth its O(source) cost only when the plan is
+/// actually headed for the JIT tier.
+bool audit_worthwhile(const PlanEvidence& ev, const SympilerOptions& opt) {
+  return ev.jit_eligible && opt.jit != JitMode::kOff;
+}
+
+/// Static verification of a freshly built plan (see verify/verify.h). A
+/// finding is always a planner/scheduler bug, never an input property, so
+/// it throws kPlanInvalid from plan time — before the plan can reach the
+/// cache or an executor. Warm cache hits skip planning entirely and so
+/// are never re-verified (the zero-alloc warm contract holds).
+void verify_fresh(CholeskyPlan& plan) {
+  if (!plan.options.verify_plan) return;
+  const Timer vt;
+  verify::VerifyOptions vo;
+  vo.audit_emitted_code = audit_worthwhile(plan.evidence, plan.options);
+  const verify::Report report = verify::verify_plan(plan, vo);
+  plan.evidence.phases.verify = vt.seconds();
+  if (!report.ok()) throw plan_verification_error(report.to_string());
+}
+
+void verify_fresh(TriSolvePlan& plan, const CscMatrix& l,
+                  std::span<const index_t> beta) {
+  if (!plan.options.verify_plan) return;
+  const Timer vt;
+  verify::VerifyOptions vo;
+  vo.audit_emitted_code = audit_worthwhile(plan.evidence, plan.options);
+  const verify::Report report = verify::verify_plan(plan, l, beta, vo);
+  plan.evidence.phases.verify = vt.seconds();
+  if (!report.ok()) throw plan_verification_error(report.to_string());
 }
 
 }  // namespace
@@ -194,6 +229,7 @@ CholeskyPlan Planner::plan_cholesky_impl(const CscMatrix& a_lower,
   // keeps ParallelSupernodal plans.
   ev.jit_eligible = plan.path == ExecutionPath::Simplicial ||
                     plan.path == ExecutionPath::Supernodal;
+  verify_fresh(plan);
   ev.build_seconds = timer.seconds();
   return plan;
 }
@@ -271,6 +307,7 @@ TriSolvePlan Planner::plan_trisolve(const CscMatrix& l,
   }
   ev.jit_eligible = plan.path == ExecutionPath::PrunedTriSolve ||
                     plan.path == ExecutionPath::BlockedTriSolve;
+  verify_fresh(plan, l, beta);
   ev.build_seconds = timer.seconds();
   return plan;
 }

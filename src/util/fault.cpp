@@ -27,7 +27,7 @@ std::atomic<std::uint64_t> g_nth{0};
 std::atomic<std::uint64_t> g_count{0};
 
 const char* const kSiteNames[kFaultSiteCount] = {
-    "alloc", "jit-compile", "jit-load", "pivot", "cache-insert"};
+    "alloc", "jit-compile", "jit-load", "pivot", "cache-insert", "verify"};
 
 // Arm from SYMPILER_FAULT once, before main touches the library. A failed
 // parse leaves the injector disarmed (silent: no logging layer exists at

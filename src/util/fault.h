@@ -14,7 +14,8 @@
 //    consecutive passes starting at the nth pass (1-based) of `site`;
 //  * environment: SYMPILER_FAULT="site:nth[:count]" (site names from
 //    FaultInjector::name: alloc, jit-compile, jit-load, pivot,
-//    cache-insert), parsed once at process start — re-apply after reset()
+//    cache-insert, verify), parsed once at process start — re-apply after
+//    reset()
 //    with arm_from_env().
 //
 // Cost when disarmed: one relaxed atomic load per site pass (no counting).
@@ -40,6 +41,7 @@ enum class FaultSite : int {
   kJitLoad,       ///< JitModule::compile, before dlopen of the artifact
   kPivot,         ///< numeric pivot checks — numerical_error
   kCacheInsert,   ///< PlanCache::get_or_build — degrades to uncached plan
+  kVerify,        ///< verify::verify_plan — plan_verification_error
   kSiteCount_,    ///< sentinel
 };
 

@@ -16,6 +16,8 @@ const char* to_string(ErrorCode code) {
       return "JitUnavailable";
     case ErrorCode::kResourceExhausted:
       return "ResourceExhausted";
+    case ErrorCode::kPlanInvalid:
+      return "PlanInvalid";
   }
   return "Unknown";
 }

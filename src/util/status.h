@@ -38,6 +38,12 @@ enum class ErrorCode : std::uint8_t {
   /// A resource guard tripped: workspace borrowed concurrently, injected
   /// allocation failure.
   kResourceExhausted,
+  /// The plan verifier (verify::verify_plan) found an invariant violation
+  /// in a freshly built plan: an illegal schedule, an aliased update slot,
+  /// corrupted inspection sets. Never a property of the user's input —
+  /// always a planner/scheduler bug (or an injected fault); the plan is
+  /// rejected before any numeric code runs on it.
+  kPlanInvalid,
 };
 
 [[nodiscard]] const char* to_string(ErrorCode code);
@@ -109,6 +115,14 @@ class resource_exhausted_error : public Error {
  public:
   explicit resource_exhausted_error(const std::string& what)
       : Error({ErrorCode::kResourceExhausted, what}) {}
+};
+
+/// Thrown by the Planner when verify::verify_plan rejects a freshly built
+/// plan. what() carries the verifier's full report — one line per finding.
+class plan_verification_error : public Error {
+ public:
+  explicit plan_verification_error(const std::string& what)
+      : Error({ErrorCode::kPlanInvalid, what}) {}
 };
 
 /// Status classification of an arbitrary in-flight exception: the carried
