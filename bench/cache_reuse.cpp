@@ -21,6 +21,8 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -33,6 +35,7 @@
 #include "core/jit.h"
 #include "core/pattern_key.h"
 #include "core/plan_compiler.h"
+#include "core/plan_store.h"
 #include "core/planner.h"
 #include "core/symbolic_cache.h"
 #include "core/trisolve_executor.h"
@@ -66,6 +69,21 @@ struct ProblemRow {
   bool verify_ok = false;
   int verify_checks = 0;
   double verify_s = 0.0;
+  /// Restart warm-start tier (core/plan_store.h): seconds to deserialize
+  /// the persisted plan from disk AND re-verify it before publication —
+  /// the full symbolic cost a post-restart solve pays in place of cold
+  /// planning. `plan_cold` is the matching denominator: a direct median
+  /// of full cold Planner runs (stabler than the subtraction-based
+  /// sym_cold). `store_ok` is false when the plan could not be persisted
+  /// (the row then falls out of the restart_warm aggregate).
+  /// `store_profitable` mirrors PlanStore::should_persist — what the
+  /// facade's write-behind gate would decide; declined rows are measured
+  /// and reported but excluded from the acceptance geomean, since a real
+  /// restart replans them by design.
+  double plan_cold = 0.0;
+  double store_load = 0.0;
+  bool store_ok = false;
+  bool store_profitable = false;
 };
 
 /// One row of the dedicated interpreter-vs-JIT kernel comparison:
@@ -360,6 +378,37 @@ void write_json(const std::vector<ProblemRow>& problems,
     }
   std::fprintf(f, "  ],\n  \"verify_pct_of_cold_geomean\": %.2f,\n",
                pct_rows > 0 ? std::exp(log_sum / pct_rows) * 100.0 : 0.0);
+  // Restart warm-start tiers per problem: cold planning vs plan-store
+  // load + re-verify vs in-memory warm hit. The load_over_cold geomean is
+  // the persistence acceptance number (budget <= 0.5) over the rows the
+  // profitability gate persists; "profitable": false rows are measured
+  // evidence for the gate, not part of the budget — a restart replans
+  // them by design.
+  std::fprintf(f, "  \"restart_warm\": [\n");
+  double store_log_sum = 0.0;
+  int store_rows = 0;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const ProblemRow& p = problems[i];
+    const double ratio =
+        p.store_ok && p.plan_cold > 0.0 ? p.store_load / p.plan_cold : 0.0;
+    std::fprintf(f,
+                 "    {\"id\": %d, \"name\": \"%s\", \"cold_plan_s\": %.6e, "
+                 "\"store_load_reverify_s\": %.6e, \"mem_warm_s\": %.6e, "
+                 "\"persisted\": %s, \"profitable\": %s, "
+                 "\"load_over_cold\": %.4f}%s\n",
+                 p.id, p.name.c_str(), p.plan_cold, p.store_load, p.sym_warm,
+                 p.store_ok ? "true" : "false",
+                 p.store_profitable ? "true" : "false", ratio,
+                 i + 1 < problems.size() ? "," : "");
+    if (p.store_ok && p.store_profitable && p.plan_cold > 0.0 &&
+        p.store_load > 0.0) {
+      store_log_sum += std::log(p.store_load / p.plan_cold);
+      ++store_rows;
+    }
+  }
+  std::fprintf(f,
+               "  ],\n  \"restart_warm_load_over_cold_geomean\": %.4f,\n",
+               store_rows > 0 ? std::exp(store_log_sum / store_rows) : 0.0);
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"warm_lookup_contention\": [\n");
@@ -392,6 +441,16 @@ int main(int argc, char** argv) {
               "num-jit(s)", "warm/num", "counters after 16 repeats");
   bench::print_rule(131);
 
+  // Plan-store scratch directory for the restart warm-start tier. One
+  // store for the whole run; removed before exit.
+  char store_template[] = "/tmp/sympiler-bench-store-XXXXXX";
+  std::shared_ptr<core::PlanStore> store;
+  if (mkdtemp(store_template) != nullptr)
+    store = core::PlanStore::open(store_template);
+  else
+    std::printf("!! could not create plan-store scratch dir; restart_warm "
+                "rows will be skipped\n");
+
   std::vector<double> amortized;
   std::vector<ProblemRow> rows;
   for (const auto& spec : gen::suite()) {
@@ -404,6 +463,9 @@ int main(int argc, char** argv) {
     Timer t_cold_total;
     cold.factor(a);
     const double cold_total = t_cold_total.seconds();
+    // Plan size before the jit tier below publishes a kernel into it —
+    // the facade's write-behind gate decides on this pre-jit size.
+    const std::size_t plan_bytes = cold.plan()->bytes();
 
     // Numeric-only refactorization time (pattern key short-circuits; the
     // values below are unchanged, which the executor does not exploit).
@@ -472,6 +534,45 @@ int main(int argc, char** argv) {
     if (!vreport.ok())
       std::printf("!! verify found issues: %s\n", vreport.to_string().c_str());
 
+    // Restart warm-start tier: persist the cold plan, then measure what a
+    // post-restart miss actually pays — deserialize from the store plus
+    // the mandatory pre-publication re-verification — against the cold
+    // planning it replaces and the in-memory warm hit it approximates.
+    // The cold baseline here is a direct median over repeated Planner
+    // runs, not the single-shot subtraction behind `sym_cold`: the ratio
+    // is an acceptance number and needs a stable denominator.
+    double plan_cold = 0.0;
+    double store_load = 0.0;
+    bool store_ok = false;
+    // What the facade's write-behind gate would decide for this plan.
+    // Declined rows are still measured (the table shows *why* the gate
+    // declines: their load/cold ratio hovers near 1x) but sit outside
+    // the acceptance geomean — a real restart replans them by design.
+    const bool store_profitable = core::PlanStore::should_persist(
+        plan_bytes, cold.plan()->evidence.build_seconds,
+        cold.plan()->path == core::ExecutionPath::Simplicial);
+    if (store != nullptr) {
+      const Status saved = store->save(*cold.plan());
+      if (!saved.ok()) {
+        std::printf("!! plan-store save failed: %s\n",
+                    saved.to_string().c_str());
+      } else {
+        const core::PatternKey key = planner.cholesky_key(a);
+        store_ok = true;
+        plan_cold = bench::bench_seconds([&] {
+          const core::Planner fresh(api::SolverConfig{}.planner_config());
+          (void)fresh.plan_cholesky(a);
+        });
+        store_load = bench::bench_seconds([&] {
+          core::CholeskyPlan loaded;
+          if (!store->load(key, &loaded).ok())
+            std::printf("!! plan-store load failed\n");
+          if (!verify::verify_plan(loaded, vopt).ok())
+            std::printf("!! store-loaded plan failed re-verification\n");
+        });
+      }
+    }
+
     char jit_cell[16];
     if (jit_compiled)
       std::snprintf(jit_cell, sizeof jit_cell, "%12.5f", numeric_jit);
@@ -488,7 +589,8 @@ int main(int argc, char** argv) {
     rows.push_back({spec.id, spec.paper_name, sym_cold, sym_warm, t_numeric,
                     numeric_jit, jit_compile, jit_compiled,
                     cold.plan()->evidence.phases, vreport.ok(),
-                    static_cast<int>(vreport.checks), verify_s});
+                    static_cast<int>(vreport.checks), verify_s, plan_cold,
+                    store_load, store_ok, store_profitable});
   }
   bench::print_rule(131);
   std::printf(
@@ -516,8 +618,51 @@ int main(int argc, char** argv) {
   }
   bench::print_rule(124);
 
+  // Restart warm-start: the three symbolic tiers a solve can pay. Cold
+  // planning (no cache, no store), plan-store load + re-verify (fresh
+  // process, warm store), in-memory warm hit (same process). The store
+  // tier must stay well under cold planning — the budget is <= 0.5x,
+  // tracked as a geomean in BENCH_cache.json — or persistence would not
+  // be worth its disk. Rows the profitability gate declines (big
+  // memory-bound simplicial plans, where loading the bytes back costs
+  // about what replanning them does) are shown for evidence but kept
+  // out of the acceptance geomean.
+  std::printf(
+      "\nRestart warm-start: plan-store load + re-verify vs cold planning "
+      "(s)\n");
+  bench::print_rule(92);
+  std::printf("%2s %-14s | %12s %14s %12s | %10s\n", "id", "name",
+              "cold-plan", "store+reverify", "mem-warm", "store/cold");
+  bench::print_rule(92);
+  std::vector<double> store_over_cold;
+  for (const ProblemRow& p : rows) {
+    if (!p.store_ok) {
+      std::printf("%2d %-14s | %12.5f %14s %12.6f | %10s\n", p.id,
+                  p.name.c_str(), p.plan_cold, "unpersisted", p.sym_warm, "-");
+      continue;
+    }
+    const double ratio = p.plan_cold > 0.0 ? p.store_load / p.plan_cold : 0.0;
+    std::printf("%2d %-14s | %12.5f %14.6f %12.6f | %9.3fx%s\n", p.id,
+                p.name.c_str(), p.plan_cold, p.store_load, p.sym_warm, ratio,
+                p.store_profitable ? "" : " (declined)");
+    if (p.store_profitable && p.plan_cold > 0.0 && p.store_load > 0.0)
+      store_over_cold.push_back(p.store_load / p.plan_cold);
+  }
+  bench::print_rule(92);
+  if (!store_over_cold.empty())
+    std::printf(
+        "geomean store-load + re-verify cost over persisted rows: %.2fx of "
+        "cold planning (budget <= 0.50x; declined rows replan by design).\n",
+        geomean(store_over_cold));
+
   const std::vector<JitRow> jit_rows = run_jit_kernels(smoke);
   const std::vector<ContentionRow> contention = run_contention(smoke);
   write_json(rows, jit_rows, contention);
+  const std::string store_dir = store != nullptr ? store->dir() : "";
+  store.reset();  // drain the writer before deleting its directory
+  if (!store_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(store_dir, ec);
+  }
   return 0;
 }

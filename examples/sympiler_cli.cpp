@@ -9,21 +9,30 @@
 //   sympiler_cli --suite 10 [--dump-code] [--no-low-level] [--no-vsblock]
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <numeric>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/solver.h"
 #include "core/cholesky_executor.h"
 #include "core/codegen.h"
+#include "core/inspector.h"
+#include "core/plan_store.h"
 #include "core/trisolve_executor.h"
+#include "core/workspace.h"
 #include "gen/generators.h"
 #include "gen/suite.h"
+#include "parallel/schedule.h"
 #include "solvers/simplicial.h"
 #include "solvers/supernodal.h"
 #include "core/planner.h"
 #include "sparse/io_mm.h"
 #include "sparse/ops.h"
 #include "util/timer.h"
+#include "verify/mutate.h"
 #include "verify/verify.h"
 
 using namespace sympiler;
@@ -33,7 +42,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: sympiler_cli (--mtx FILE | --suite ID) [--dump-code] "
-               "[--explain] [--verify] [--no-low-level] [--no-vsblock]\n");
+               "[--explain] [--verify] [--verify-corpus] [--plan-store DIR] "
+               "[--no-low-level] [--no-vsblock]\n");
   return 2;
 }
 
@@ -63,10 +73,201 @@ int run_verify(const CscMatrix& a, core::SympilerOptions opt) {
   return creport.ok() && treport.ok() ? 0 : 1;
 }
 
+// ---------------------------------------------------------- --verify-corpus
+//
+// Self-test mode: seed every verify::PlanMutator corruption class into
+// every plan variant the user's matrix admits (sequential simplicial and
+// supernodal, parallel-flat, coarsened; pruned/blocked/parallel trisolve
+// over the factor pattern) and assert the static verifier kills each one.
+// The parallel variants are assembled from the pure schedule builders so
+// the corpus exercises those paths in every build, with or without OpenMP.
+
+core::PlannerConfig sequential_config(const core::SympilerOptions& base,
+                                      double vs_gate) {
+  core::PlannerConfig cfg;
+  cfg.options = base;
+  cfg.options.vsblock_min_avg_size = vs_gate;
+  cfg.options.vsblock_min_avg_width = vs_gate > 0.0 ? vs_gate : 0.0;
+  cfg.options.verify_plan = false;  // corpus verifies explicitly below
+  cfg.enable_parallel = false;
+  return cfg;
+}
+
+core::CholeskyPlan parallel_cholesky_plan(const CscMatrix& a, bool coarsen) {
+  core::SympilerOptions opt;
+  opt.vsblock_min_avg_size = 0.0;
+  opt.vsblock_min_avg_width = 0.0;
+  core::CholeskyPlan plan;
+  plan.options = opt;
+  plan.sets = core::inspect_cholesky(a, opt);
+  plan.schedule = parallel::level_schedule_supernodes(plan.sets.blocks,
+                                                      plan.sets.sym.parent);
+  plan.solve_update_map = parallel::update_slots_supernodes(plan.sets.layout);
+  plan.workspace = core::cholesky_workspace_dims(plan.sets.layout);
+  plan.workspace.need_dense = false;
+  plan.workspace.update_slots = plan.solve_update_map.slots();
+  plan.path = core::ExecutionPath::ParallelSupernodal;
+  if (coarsen) {
+    std::vector<index_t> dep_src(plan.sets.updates.refs.size());
+    for (std::size_t u = 0; u < dep_src.size(); ++u)
+      dep_src[u] = plan.sets.updates.refs[u].d;
+    plan.agg = parallel::coarsen_schedule_supernodes(
+        plan.sets.blocks, plan.sets.sym.parent, plan.sets.updates.ptr,
+        dep_src, plan.schedule);
+  }
+  return plan;
+}
+
+core::TriSolvePlan parallel_trisolve_plan(const CscMatrix& l,
+                                          std::span<const index_t> beta,
+                                          bool coarsen) {
+  core::SympilerOptions opt;
+  opt.vsblock_min_avg_size = 1e9;  // column-level solve
+  opt.vsblock_min_avg_width = 1e9;
+  core::TriSolvePlan plan;
+  plan.options = opt;
+  plan.sets = core::inspect_trisolve(l, beta, opt);
+  plan.schedule = parallel::level_schedule_columns(l);
+  plan.update_map = parallel::update_slots_columns(l, plan.sets.reach);
+  plan.workspace.n = l.cols();
+  plan.workspace.need_map = false;
+  plan.workspace.need_dense = false;
+  plan.workspace.update_slots = plan.update_map.slots();
+  plan.workspace.rhs_block = core::kRhsBlockWidth;
+  plan.path = core::ExecutionPath::ParallelTriSolve;
+  if (coarsen) plan.agg = parallel::coarsen_schedule_columns(l, plan.schedule);
+  return plan;
+}
+
+constexpr verify::Corruption kCorpus[] = {
+    verify::Corruption::kDepViolation,
+    verify::Corruption::kAliasedSlot,
+    verify::Corruption::kReorderedFold,
+    verify::Corruption::kCrossDependentBundle,
+    verify::Corruption::kOutOfBoundsIndex,
+    verify::Corruption::kWorkspaceTrim,
+    verify::Corruption::kScheduleGap,
+    verify::Corruption::kChainReorder,
+};
+
+struct CorpusTally {
+  int applicable = 0;
+  int killed = 0;
+};
+
+int run_verify_corpus(const CscMatrix& a, const core::SympilerOptions& opt) {
+  std::vector<std::pair<const char*, core::CholeskyPlan>> chol;
+  chol.emplace_back(
+      "chol/simplicial",
+      core::Planner(sequential_config(opt, 1e9)).plan_cholesky(a));
+  chol.emplace_back(
+      "chol/supernodal",
+      core::Planner(sequential_config(opt, 0.0)).plan_cholesky(a));
+  chol.emplace_back("chol/parallel-flat", parallel_cholesky_plan(a, false));
+  chol.emplace_back("chol/coarsened", parallel_cholesky_plan(a, true));
+
+  const CscMatrix& l = chol[1].second.sets.sym.l_pattern;
+  const std::vector<index_t> sparse_beta = {0};
+  std::vector<index_t> full_beta(static_cast<std::size_t>(l.cols()));
+  std::iota(full_beta.begin(), full_beta.end(), 0);
+  struct TriVariant {
+    const char* name;
+    core::TriSolvePlan plan;
+    std::span<const index_t> beta;
+  };
+  std::vector<TriVariant> tri;
+  tri.push_back(
+      {"tri/pruned",
+       core::Planner(sequential_config(opt, 1e9)).plan_trisolve(l, sparse_beta),
+       sparse_beta});
+  tri.push_back(
+      {"tri/blocked",
+       core::Planner(sequential_config(opt, 0.0)).plan_trisolve(l, sparse_beta),
+       sparse_beta});
+  tri.push_back(
+      {"tri/parallel-flat", parallel_trisolve_plan(l, full_beta, false),
+       full_beta});
+  tri.push_back(
+      {"tri/coarsened", parallel_trisolve_plan(l, full_beta, true), full_beta});
+
+  // Every base plan must verify clean before corruption, or the kill cells
+  // below would be vacuous.
+  for (const auto& [name, plan] : chol) {
+    const verify::Report clean = verify::verify_plan(plan);
+    if (!clean.ok()) {
+      std::printf("%s base plan failed verification:\n%s\n", name,
+                  clean.to_string().c_str());
+      return 1;
+    }
+  }
+  for (const auto& v : tri) {
+    const verify::Report clean = verify::verify_plan(v.plan, l, v.beta);
+    if (!clean.ok()) {
+      std::printf("%s base plan failed verification:\n%s\n", v.name,
+                  clean.to_string().c_str());
+      return 1;
+    }
+  }
+
+  std::map<verify::Corruption, CorpusTally> table;
+  std::vector<std::string> survivors;
+  for (const verify::Corruption c : kCorpus) {
+    CorpusTally& tally = table[c];
+    for (const auto& [name, base] : chol) {
+      core::CholeskyPlan mutant = base;
+      if (!verify::PlanMutator::apply(mutant, c)) continue;
+      ++tally.applicable;
+      if (!verify::verify_plan(mutant).ok()) {
+        ++tally.killed;
+      } else {
+        survivors.push_back(std::string(name) + " x " + verify::to_string(c));
+      }
+    }
+    for (const auto& v : tri) {
+      core::TriSolvePlan mutant = v.plan;
+      if (!verify::PlanMutator::apply(mutant, l, c)) continue;
+      ++tally.applicable;
+      if (!verify::verify_plan(mutant, l, v.beta).ok()) {
+        ++tally.killed;
+      } else {
+        survivors.push_back(std::string(v.name) + " x " +
+                            verify::to_string(c));
+      }
+    }
+  }
+
+  std::printf("=== corruption-kill table (%zu classes x %zu plan variants) "
+              "===\n",
+              std::size(kCorpus), chol.size() + tri.size());
+  std::printf("%-24s %10s %6s\n", "class", "applicable", "killed");
+  int total_applicable = 0;
+  int total_killed = 0;
+  for (const verify::Corruption c : kCorpus) {
+    const CorpusTally& tally = table[c];
+    total_applicable += tally.applicable;
+    total_killed += tally.killed;
+    std::printf("%-24s %10d %6d  %s\n", verify::to_string(c),
+                tally.applicable, tally.killed,
+                tally.applicable == 0         ? "n/a"
+                : tally.killed == tally.applicable ? "KILLED"
+                                                   : "SURVIVED");
+  }
+  std::printf("overall: %d/%d applicable cells killed\n", total_killed,
+              total_applicable);
+  for (const std::string& s : survivors)
+    std::printf("SURVIVOR: %s\n", s.c_str());
+  return total_killed == total_applicable && total_applicable > 0 ? 0 : 1;
+}
+
 /// --explain: factor through the api::Solver facade and print the
 /// ExecutionPlan it planned (and cached), plus the cache counters after a
 /// warm repeat — the operational view of the paper's decoupling.
 void explain(const CscMatrix& a, const core::SympilerOptions& opt) {
+  // Hold the store open across both Solvers so the shared instance (and
+  // its counters) outlives their internal handles.
+  std::shared_ptr<core::PlanStore> store;
+  if (!opt.plan_store_dir.empty())
+    store = core::PlanStore::open(opt.plan_store_dir);
   api::SolverConfig cfg;
   cfg.options = opt;
   auto context = std::make_shared<api::SymbolicContext>();
@@ -82,6 +283,20 @@ void explain(const CscMatrix& a, const core::SympilerOptions& opt) {
       "cache: %s, hit_rate=%.0f%% (second Solver reused the plan: %s)\n",
       st.to_string().c_str(), st.hit_rate() * 100.0,
       warm.symbolic_cached() ? "yes" : "NO");
+
+  if (store != nullptr) {
+    store->flush();  // drain the write-behind queue before reading counters
+    const core::PlanStore::Stats ps = store->stats();
+    std::printf(
+        "plan store (%s): loads=%llu (failed=%llu), writes=%llu "
+        "(failed=%llu), discards=%llu, declines=%llu\n",
+        store->dir().c_str(), static_cast<unsigned long long>(ps.loads),
+        static_cast<unsigned long long>(ps.load_failures),
+        static_cast<unsigned long long>(ps.writes),
+        static_cast<unsigned long long>(ps.write_failures),
+        static_cast<unsigned long long>(ps.discards),
+        static_cast<unsigned long long>(ps.declines));
+  }
 }
 
 }  // namespace
@@ -92,6 +307,7 @@ int main(int argc, char** argv) {
   bool dump_code = false;
   bool want_explain = false;
   bool want_verify = false;
+  bool want_corpus = false;
   core::SympilerOptions opt;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--mtx") && i + 1 < argc) {
@@ -104,6 +320,10 @@ int main(int argc, char** argv) {
       want_explain = true;
     } else if (!std::strcmp(argv[i], "--verify")) {
       want_verify = true;
+    } else if (!std::strcmp(argv[i], "--verify-corpus")) {
+      want_corpus = true;
+    } else if (!std::strcmp(argv[i], "--plan-store") && i + 1 < argc) {
+      opt.plan_store_dir = argv[++i];
     } else if (!std::strcmp(argv[i], "--no-low-level")) {
       opt.low_level = false;
     } else if (!std::strcmp(argv[i], "--no-vsblock")) {
@@ -122,6 +342,10 @@ int main(int argc, char** argv) {
     SYMPILER_CHECK(a.rows() == a.cols(), "input must be square symmetric");
     std::printf("input: %s\n", a.to_string().c_str());
 
+    if (want_corpus) {
+      const int rc = run_verify_corpus(a, opt);
+      if (rc != 0 || (!want_explain && !want_verify)) return rc;
+    }
     if (want_verify) {
       const int rc = run_verify(a, opt);
       if (rc != 0 || !want_explain) return rc;

@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "core/plan_compiler.h"
+#include "core/plan_store.h"
 #include "parallel/levelset.h"
 #include "solvers/supernodal.h"
+#include "verify/verify.h"
 
 namespace sympiler::api {
 
@@ -18,11 +20,14 @@ std::shared_ptr<SymbolicContext> SymbolicContext::global() {
 }
 
 std::string FactorReport::to_string() const {
-  if (!degraded()) return "ok (no degradation)";
+  if (!degraded())
+    return store_loaded ? "ok (plan loaded from store)"
+                        : "ok (no degradation)";
   std::ostringstream os;
   os << "degraded:";
   if (jit_degraded) os << " jit->interpreter";
   if (serial_fallback) os << " parallel->serial";
+  if (store_recovered) os << " store->replan";
   if (shift_attempts_used > 0)
     os << " diagonal-shift(+" << shift_applied << ", attempt "
        << shift_attempts_used << ")";
@@ -199,8 +204,51 @@ void Solver::prepare_symbolic(const CscMatrix& a_lower) {
   // old key paired with a half-prepared executor, and the next factor()
   // of that old pattern would take the early return above into it.
   has_key_ = false;
-  auto lookup = context_->cholesky_cache().get_or_build(
-      key, [&] { return planner.plan_cholesky(a_lower); });
+  core::CholeskyCache::Lookup lookup;
+  if (config_.options.plan_store_dir.empty()) {
+    lookup = context_->cholesky_cache().get_or_build(
+        key, [&] { return planner.plan_cholesky(a_lower); });
+  } else {
+    // Persistence tier (core/plan_store.h, docs/persistence.md): on a
+    // cache miss, try the on-disk store before replanning. Every loaded
+    // plan is re-verified before publication; a rejected file — corrupt,
+    // stale, or failing re-verification — takes rung 5 of the degradation
+    // ladder: discard it, replan from the matrix, and let the write-behind
+    // below rewrite a good file.
+    auto store = core::PlanStore::open(config_.options.plan_store_dir);
+    lookup = context_->cholesky_cache().get_or_build_stored(
+        key,
+        [&]() -> std::shared_ptr<const core::CholeskyPlan> {
+          core::CholeskyPlan from_disk;
+          core::PlanStore::Loaded loaded = store->load(key, &from_disk);
+          if (!loaded.found) return nullptr;
+          if (loaded.status.ok()) {
+            const verify::Report check = verify::verify_plan(from_disk);
+            if (!check.ok())
+              loaded.status = Status{ErrorCode::kCorruptPlanFile,
+                                     "persisted plan failed load-time "
+                                     "re-verification:\n" +
+                                         check.to_string()};
+          }
+          if (!loaded.status.ok()) {
+            report_.store_recovered = true;
+            report_.last_error = loaded.status;
+            store->discard(key, /*cholesky=*/true);
+            return nullptr;
+          }
+          report_.store_loaded = true;
+          return std::make_shared<const core::CholeskyPlan>(
+              std::move(from_disk));
+        },
+        [&] { return planner.plan_cholesky(a_lower); },
+        [&](const std::shared_ptr<const core::CholeskyPlan>& built) {
+          // Write-behind, gated: plans whose estimated load cost exceeds
+          // half their measured build time are cheaper to replan after a
+          // restart than to load — the store declines them (counted in
+          // its stats) instead of pessimizing every future warm start.
+          store->save_async_if_profitable(built);
+        });
+  }
   symbolic_cached_ = lookup.hit;
   plan_ = std::move(lookup.plan);
   factorized_ = false;
@@ -335,15 +383,52 @@ namespace {
 std::shared_ptr<const core::TriSolvePlan> lookup_trisolve_plan(
     const CscMatrix& l, std::span<const index_t> beta,
     const SolverConfig& config, SymbolicContext& context,
-    bool& symbolic_cached) {
+    bool& symbolic_cached, FactorReport& report) {
   // Validation runs here — in the member initializer, before any planning
   // touches the (possibly malformed) structure arrays.
   if (config.options.validate_input)
     validate_trisolve_input(l, beta, config.options.scan_values);
   const core::Planner planner(config.planner_config());
-  auto lookup = context.trisolve_cache().get_or_build(
-      planner.trisolve_key(l, beta),
-      [&] { return planner.plan_trisolve(l, beta); });
+  const core::PatternKey key = planner.trisolve_key(l, beta);
+  core::TriSolveCache::Lookup lookup;
+  if (config.options.plan_store_dir.empty()) {
+    lookup = context.trisolve_cache().get_or_build(
+        key, [&] { return planner.plan_trisolve(l, beta); });
+  } else {
+    // Same persistence tier as Solver::prepare_symbolic: load + mandatory
+    // re-verification on a cache miss, rung-5 discard/replan/rewrite on a
+    // rejected file, write-behind for fresh builds.
+    auto store = core::PlanStore::open(config.options.plan_store_dir);
+    lookup = context.trisolve_cache().get_or_build_stored(
+        key,
+        [&]() -> std::shared_ptr<const core::TriSolvePlan> {
+          core::TriSolvePlan from_disk;
+          core::PlanStore::Loaded loaded = store->load(key, &from_disk);
+          if (!loaded.found) return nullptr;
+          if (loaded.status.ok()) {
+            const verify::Report check = verify::verify_plan(from_disk, l, beta);
+            if (!check.ok())
+              loaded.status = Status{ErrorCode::kCorruptPlanFile,
+                                     "persisted plan failed load-time "
+                                     "re-verification:\n" +
+                                         check.to_string()};
+          }
+          if (!loaded.status.ok()) {
+            report.store_recovered = true;
+            report.last_error = loaded.status;
+            store->discard(key, /*cholesky=*/false);
+            return nullptr;
+          }
+          report.store_loaded = true;
+          return std::make_shared<const core::TriSolvePlan>(
+              std::move(from_disk));
+        },
+        [&] { return planner.plan_trisolve(l, beta); },
+        [&](const std::shared_ptr<const core::TriSolvePlan>& built) {
+          // Same profitability gate as the Cholesky write-behind.
+          store->save_async_if_profitable(built);
+        });
+  }
   symbolic_cached = lookup.hit;
   return std::move(lookup.plan);
 }
@@ -361,7 +446,7 @@ TriangularSolver::TriangularSolver(const CscMatrix& l,
       l_(&l),
       n_(l.cols()),
       executor_(lookup_trisolve_plan(l, beta, config, *context_,
-                                     symbolic_cached_),
+                                     symbolic_cached_, report_),
                 l) {
   pws_.set_guard(config.options.guard_workspace);
   if (executor_.plan().path == ExecutionPath::ParallelTriSolve) {

@@ -93,12 +93,23 @@ struct FactorReport {
   /// The shift added to every diagonal entry on the successful attempt
   /// (0 when no shift was needed). The factorization is of A + shift * I.
   value_t shift_applied = 0.0;
+  /// The symbolic phase was served by loading a persisted plan from the
+  /// on-disk PlanStore (and re-verifying it) instead of replanning.
+  /// Informational, not a degradation — the loaded plan is bit-identical
+  /// to what the Planner would build.
+  bool store_loaded = false;
+  /// A persisted plan file was found but rejected — corrupt, stale, or
+  /// failed load-time re-verification. Rung 5 discarded the file,
+  /// replanned from the matrix, and queued a rewrite; last_error carries
+  /// the rejection.
+  bool store_recovered = false;
   /// The failure the ladder absorbed (the last one, when several rungs
   /// fired). kOk when nothing degraded.
   Status last_error;
 
   [[nodiscard]] bool degraded() const {
-    return jit_degraded || serial_fallback || shift_attempts_used > 0;
+    return jit_degraded || serial_fallback || shift_attempts_used > 0 ||
+           store_recovered;
   }
   /// One-line summary for logs and --explain.
   [[nodiscard]] std::string to_string() const;
@@ -280,6 +291,11 @@ class TriangularSolver {
   const CscMatrix* l_;
   index_t n_ = 0;
   bool symbolic_cached_ = false;
+  /// Mutable: solve()/solve_batch() are logically const but record their
+  /// degradations here. Declared before executor_ on purpose: the plan
+  /// lookup in executor_'s member initializer records store outcomes
+  /// (store_loaded / store_recovered) into an already-constructed report.
+  mutable FactorReport report_;
   core::TriSolveExecutor executor_;
   /// Plan-sized scratch of the level-set parallel interpreters: the
   /// privatized update terms and the packed RHS block (shared across the
@@ -287,9 +303,6 @@ class TriangularSolver {
   /// warm parallel solves allocate nothing. Mutable: solve() is logically
   /// const. Guarded against concurrent borrow in debug builds.
   mutable core::Workspace pws_;
-  /// Mutable: solve()/solve_batch() are logically const but record their
-  /// degradations here.
-  mutable FactorReport report_;
 };
 
 }  // namespace sympiler::api

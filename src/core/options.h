@@ -2,6 +2,8 @@
 // (and that bench/ablation_thresholds sweeps).
 #pragma once
 
+#include <string>
+
 #include "util/common.h"
 
 namespace sympiler::core {
@@ -112,6 +114,15 @@ struct SympilerOptions {
 #else
   bool verify_plan = false;
 #endif
+
+  /// Directory of the on-disk plan store (core/plan_store.h). Empty =
+  /// persistence off. When set, cache misses first try to load a persisted
+  /// plan (re-verified before publication) and freshly built plans are
+  /// written behind the facade's back. Not hashed into the cache key:
+  /// where a plan is stored never changes what the plan contains — two
+  /// Solvers with different store dirs must share one in-memory plan per
+  /// pattern.
+  std::string plan_store_dir;
 };
 
 }  // namespace sympiler::core

@@ -93,7 +93,8 @@ std::uint64_t hash_options(const SympilerOptions& opt) {
   // knobs (validate_input .. guard_workspace) and verify_plan are excluded
   // for the same reason: verification checks a plan, it never changes one,
   // so a Debug build (verify on) and a Release build (verify off) agree on
-  // every cache key.
+  // every cache key. plan_store_dir likewise: where a plan is persisted
+  // never changes what the plan contains.
   return h;
 }
 

@@ -1,0 +1,352 @@
+#include "core/plan_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <utility>
+
+#include "core/plan_serde.h"
+#include "util/fault.h"
+
+namespace sympiler::core {
+
+namespace {
+
+Status io_error(const std::string& what, const std::string& path) {
+  return {ErrorCode::kResourceExhausted,
+          what + " '" + path + "': " + std::strerror(errno)};
+}
+
+/// fsync the directory containing `path` so the rename itself is durable.
+void fsync_parent_dir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best-effort: some filesystems refuse dir fsync
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::shared_ptr<PlanStore> PlanStore::open(const std::string& dir) {
+  static std::mutex registry_mutex;
+  static std::map<std::string, std::weak_ptr<PlanStore>> registry;
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  if (auto existing = registry[dir].lock()) return existing;
+  auto store = std::make_shared<PlanStore>(dir);
+  registry[dir] = store;
+  return store;
+}
+
+PlanStore::PlanStore(std::string dir) : dir_(std::move(dir)) {}
+
+PlanStore::~PlanStore() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+// ----------------------------------------------------------------- file IO
+
+PlanStore::LoadedBytes PlanStore::read_file(const std::string& path) {
+  LoadedBytes r;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return r;  // plain cold miss
+    r.found = true;
+    r.status = io_error("cannot open plan file", path);
+    return r;
+  }
+  r.found = true;
+  if (SYMPILER_FAULT_POINT(util::FaultSite::kStoreRead)) {
+    ::close(fd);
+    r.status = {ErrorCode::kCorruptPlanFile,
+                "injected store-read fault on '" + path + "'"};
+    return r;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    r.status = {ErrorCode::kCorruptPlanFile,
+                "plan path '" + path + "' is not a regular file"};
+    return r;
+  }
+  const auto len = static_cast<std::size_t>(st.st_size);
+
+  // Fast path: map the file read-only and validate in place — the flat
+  // format was laid out for this (no pointer fixups, everything
+  // offset-addressed), and it skips a full-file copy the restart-warm
+  // budget would otherwise pay. Safe against concurrent saves: they
+  // replace the name via rename() and never truncate the old inode.
+  if (len > 0) {
+    void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr != MAP_FAILED) {
+      ::close(fd);
+      r.backing = std::shared_ptr<const void>(
+          addr, [len](const void* p) { ::munmap(const_cast<void*>(p), len); });
+      r.view = {static_cast<const std::uint8_t*>(addr), len};
+      return r;
+    }
+  }
+
+  // Fallback (mmap unavailable, or the degenerate empty file the
+  // deserializer will reject anyway): buffered read.
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(len);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t got = ::read(fd, buf->data() + done, len - done);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) {
+      ::close(fd);
+      r.status = io_error("cannot read plan file", path);
+      return r;
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  ::close(fd);
+  r.view = {buf->data(), buf->size()};
+  r.backing = std::move(buf);
+  return r;
+}
+
+Status PlanStore::write_file(const std::string& path,
+                             const std::vector<std::uint8_t>& bytes) {
+  if (SYMPILER_FAULT_POINT(util::FaultSite::kStoreWrite))
+    return {ErrorCode::kResourceExhausted,
+            "injected store-write fault on '" + path + "'"};
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec)
+    return {ErrorCode::kResourceExhausted,
+            "cannot create plan store dir '" + dir_ + "': " + ec.message()};
+
+  // Unique temp in the same directory so rename() is atomic (same fs).
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(tmp_seq_.fetch_add(1, std::memory_order_relaxed));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) return io_error("cannot create plan temp file", tmp);
+
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t put = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (put < 0 && errno == EINTR) continue;
+    if (put <= 0) {
+      const Status status = io_error("cannot write plan temp file", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    done += static_cast<std::size_t>(put);
+  }
+  if (::fsync(fd) != 0) {
+    const Status status = io_error("cannot fsync plan temp file", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = io_error("cannot publish plan file", path);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  fsync_parent_dir(path);
+  return {};
+}
+
+// ------------------------------------------------------------- load / save
+
+template <typename Plan>
+PlanStore::Loaded PlanStore::load_impl(const PatternKey& key, bool cholesky,
+                                       Plan* out) {
+  Loaded result;
+  const std::string path = path_for(key, cholesky);
+  LoadedBytes file = read_file(path);
+  result.found = file.found;
+  if (!file.found) return result;
+  result.status = std::move(file.status);
+  if (result.status.ok()) result.status = deserialize_plan(file.view, out);
+  if (result.status.ok() && !(out->key == key)) {
+    result.status = {ErrorCode::kCorruptPlanFile,
+                     "plan file '" + path + "' is for " +
+                         out->key.to_string() + ", requested " +
+                         key.to_string()};
+  }
+  if (result.status.ok())
+    loads_.fetch_add(1, std::memory_order_relaxed);
+  else
+    load_failures_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+PlanStore::Loaded PlanStore::load(const PatternKey& key, CholeskyPlan* out) {
+  return load_impl(key, /*cholesky=*/true, out);
+}
+
+PlanStore::Loaded PlanStore::load(const PatternKey& key, TriSolvePlan* out) {
+  return load_impl(key, /*cholesky=*/false, out);
+}
+
+template <typename Plan>
+Status PlanStore::save_impl(const Plan& plan, bool cholesky) {
+  const Status status =
+      write_file(path_for(plan.key, cholesky), serialize_plan(plan));
+  if (status.ok())
+    writes_.fetch_add(1, std::memory_order_relaxed);
+  else
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+  return status;
+}
+
+Status PlanStore::save(const CholeskyPlan& plan) {
+  return save_impl(plan, /*cholesky=*/true);
+}
+
+Status PlanStore::save(const TriSolvePlan& plan) {
+  return save_impl(plan, /*cholesky=*/false);
+}
+
+void PlanStore::save_async(std::shared_ptr<const CholeskyPlan> plan) {
+  enqueue([this, plan = std::move(plan)] { (void)save(*plan); });
+}
+
+void PlanStore::save_async(std::shared_ptr<const TriSolvePlan> plan) {
+  enqueue([this, plan = std::move(plan)] { (void)save(*plan); });
+}
+
+// The gate's constants. Loading costs CRC + copy + re-verify — all
+// memory-speed passes over the image; 2 GB/s is a conservative
+// end-to-end figure for that pipeline on commodity hardware (the
+// hardware-CRC path alone runs several times faster). The 0.75 profit
+// fraction looks generous next to the 0.5x restart-warm acceptance
+// budget, but it gates an *estimate* against a build timer that is
+// first-touch-inflated on a cold process — by the time this branch is
+// reached the planner is known compute-bound, and the measured
+// load/replan ratios for such plans land well under 0.5x (the
+// restart_warm table in BENCH_cache.json). The 4 MiB floor persists
+// small plans unconditionally — their load cost is a rounding error,
+// and a byte threshold (unlike the measured, noisy build_seconds) keeps
+// small-pattern behavior deterministic across machines, which the
+// facade round-trip tests rely on.
+namespace {
+constexpr std::size_t kAlwaysPersistBytes = std::size_t{4} << 20;
+constexpr double kAssumedLoadBytesPerSecond = 2e9;
+constexpr double kProfitFraction = 0.75;
+
+/// Whether this plan's symbolic phase is itself a memory-speed pattern
+/// fill (see should_persist rule 2). Simplicial Cholesky and the pruned
+/// column solve build their sets in one near-linear sweep; the
+/// supernodal / blocked / level-set paths add real compute (block
+/// assembly, update scheduling, slot maps) on top of the bytes.
+bool memory_bound_path(ExecutionPath path) {
+  return path == ExecutionPath::Simplicial ||
+         path == ExecutionPath::PrunedTriSolve;
+}
+
+}  // namespace
+
+bool PlanStore::should_persist(std::size_t plan_bytes, double build_seconds,
+                               bool memory_bound_planning) {
+  if (plan_bytes <= kAlwaysPersistBytes) return true;
+  if (memory_bound_planning) return false;
+  const double estimated_load_seconds =
+      static_cast<double>(plan_bytes) / kAssumedLoadBytesPerSecond;
+  return estimated_load_seconds <= kProfitFraction * build_seconds;
+}
+
+void PlanStore::save_async_if_profitable(
+    std::shared_ptr<const CholeskyPlan> plan) {
+  if (!should_persist(plan->bytes(), plan->evidence.build_seconds,
+                      memory_bound_path(plan->path))) {
+    declines_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  save_async(std::move(plan));
+}
+
+void PlanStore::save_async_if_profitable(
+    std::shared_ptr<const TriSolvePlan> plan) {
+  if (!should_persist(plan->bytes(), plan->evidence.build_seconds,
+                      memory_bound_path(plan->path))) {
+    declines_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  save_async(std::move(plan));
+}
+
+void PlanStore::discard(const PatternKey& key, bool cholesky) {
+  if (::unlink(path_for(key, cholesky).c_str()) == 0)
+    discards_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string PlanStore::path_for(const PatternKey& key, bool cholesky) const {
+  char name[96];
+  std::snprintf(name, sizeof(name), "%s-%016llx-%016llx-%016llx.plan",
+                cholesky ? "chol" : "tris",
+                static_cast<unsigned long long>(key.structure_hash),
+                static_cast<unsigned long long>(key.structure_hash2),
+                static_cast<unsigned long long>(key.config_hash));
+  return dir_ + "/" + name;
+}
+
+PlanStore::Stats PlanStore::stats() const {
+  Stats s;
+  s.loads = loads_.load(std::memory_order_relaxed);
+  s.load_failures = load_failures_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.write_failures = write_failures_.load(std::memory_order_relaxed);
+  s.discards = discards_.load(std::memory_order_relaxed);
+  s.declines = declines_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ------------------------------------------------------------ write-behind
+
+void PlanStore::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(std::move(job));
+    if (!writer_started_) {
+      writer_started_ = true;
+      writer_ = std::thread([this] { writer_main(); });
+    }
+  }
+  queue_cv_.notify_one();
+}
+
+void PlanStore::flush() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  drained_cv_.wait(lock,
+                   [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void PlanStore::writer_main() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) break;  // stopping_ with a drained queue
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    job();
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
+  }
+}
+
+}  // namespace sympiler::core

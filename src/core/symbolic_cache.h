@@ -111,6 +111,43 @@ class PlanCache {
     return {insert_locked(shard, key, std::move(built), seconds), false};
   }
 
+  /// Store-aware variant of get_or_build (core/plan_store.h): on a miss,
+  /// try `load` (a callable returning shared_ptr<const Plan> — a persisted
+  /// plan already re-verified by the caller, or nullptr) before paying
+  /// `build`; freshly *built* plans are handed to `save` (write-behind) so
+  /// the next process starts warm. Loaded plans are NOT re-saved — the
+  /// file they came from is already current. Both load and build run
+  /// outside the shard lock; a loaded plan's measured load time stands in
+  /// for its rebuild cost in the eviction score, which keeps the economics
+  /// honest — a store-resident plan is nearly free to bring back, so it is
+  /// a preferred eviction victim over plans that must be replanned.
+  template <class LoadFn, class BuildFn, class SaveFn>
+  [[nodiscard]] Lookup get_or_build_stored(const PatternKey& key,
+                                           LoadFn&& load, BuildFn&& build,
+                                           SaveFn&& save) {
+    Shard& shard = shard_for(key);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      Lookup found = find_locked(shard, key);
+      if (found.hit) return found;
+    }
+    Timer load_timer;
+    std::shared_ptr<const Plan> plan = load();
+    double seconds = load_timer.seconds();
+    if (plan == nullptr) {
+      Timer build_timer;
+      plan = std::make_shared<const Plan>(build());
+      seconds = build_timer.seconds();
+      save(plan);
+    }
+    // Same degradation as get_or_build: an injected insert failure serves
+    // the plan uncached instead of poisoning the shard.
+    if (SYMPILER_FAULT_POINT(util::FaultSite::kCacheInsert))
+      return {std::move(plan), false};
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return {insert_locked(shard, key, std::move(plan), seconds), false};
+  }
+
   /// Re-sample plan->bytes() for a resident entry. Call after attaching a
   /// compiled kernel to a cached plan's JitSlot (core/plan_compiler.h):
   /// entry weight was sampled at insert, so the ledger must be told the

@@ -1,0 +1,108 @@
+// CRC-32C implementation (crc32c.h): SSE4.2 hardware path dispatched at
+// first use, portable slicing-by-8 fallback. The hardware loop folds
+// eight bytes per crc32q instruction; slicing-by-8 looks up eight tables
+// per eight-byte word, which breaks the one-table loop's serial
+// table[crc ^ byte] dependence chain.
+#include "util/crc32c.h"
+
+#include <bit>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#define SYMPILER_CRC32C_HW 1
+#endif
+
+namespace sympiler::util {
+
+namespace {
+
+// Eight slicing tables: t[0] is the classic byte table for the reflected
+// Castagnoli polynomial; t[k][b] advances t[k-1][b] by one more zero
+// byte, so eight lookups jointly advance the CRC across a 64-bit word.
+struct Tables {
+  std::uint32_t t[8][256];
+};
+
+const Tables& tables() {
+  static const Tables tables = [] {
+    Tables s{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) != 0 ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      s.t[0][i] = c;
+    }
+    for (int k = 1; k < 8; ++k)
+      for (std::uint32_t i = 0; i < 256; ++i)
+        s.t[k][i] = s.t[0][s.t[k - 1][i] & 0xFFu] ^ (s.t[k - 1][i] >> 8);
+    return s;
+  }();
+  return tables;
+}
+
+std::uint32_t crc_software(const std::uint8_t* p, std::size_t len,
+                           std::uint32_t crc) {
+  const Tables& s = tables();
+  // The word loop reinterprets eight bytes as two little-endian u32s; on
+  // a big-endian host only the (correct, slower) byte loop runs.
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len >= 8) {
+      std::uint32_t lo = 0, hi = 0;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= crc;
+      crc = s.t[7][lo & 0xFFu] ^ s.t[6][(lo >> 8) & 0xFFu] ^
+            s.t[5][(lo >> 16) & 0xFFu] ^ s.t[4][lo >> 24] ^
+            s.t[3][hi & 0xFFu] ^ s.t[2][(hi >> 8) & 0xFFu] ^
+            s.t[1][(hi >> 16) & 0xFFu] ^ s.t[0][hi >> 24];
+      p += 8;
+      len -= 8;
+    }
+  }
+  while (len-- != 0) crc = s.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  return crc;
+}
+
+#if defined(SYMPILER_CRC32C_HW)
+__attribute__((target("sse4.2"))) std::uint32_t crc_hardware(
+    const std::uint8_t* p, std::size_t len, std::uint32_t crc) {
+  std::uint64_t c = crc;
+  while (len >= 8) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, p, 8);
+    c = _mm_crc32_u64(c, v);
+    p += 8;
+    len -= 8;
+  }
+  auto c32 = static_cast<std::uint32_t>(c);
+  while (len-- != 0) c32 = _mm_crc32_u8(c32, *p++);
+  return c32;
+}
+#endif
+
+using CrcFn = std::uint32_t (*)(const std::uint8_t*, std::size_t,
+                                std::uint32_t);
+
+CrcFn detect() {
+#if defined(SYMPILER_CRC32C_HW)
+  if (__builtin_cpu_supports("sse4.2")) return crc_hardware;
+#endif
+  return crc_software;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len) {
+  static const CrcFn fn = detect();
+  return fn(static_cast<const std::uint8_t*>(data), len, 0xFFFFFFFFu) ^
+         0xFFFFFFFFu;
+}
+
+std::uint32_t crc32c_software(const void* data, std::size_t len) {
+  return crc_software(static_cast<const std::uint8_t*>(data), len,
+                      0xFFFFFFFFu) ^
+         0xFFFFFFFFu;
+}
+
+}  // namespace sympiler::util

@@ -1,8 +1,10 @@
 #include "util/fault.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 
 namespace sympiler::util {
 
@@ -27,11 +29,22 @@ std::atomic<std::uint64_t> g_nth{0};
 std::atomic<std::uint64_t> g_count{0};
 
 const char* const kSiteNames[kFaultSiteCount] = {
-    "alloc", "jit-compile", "jit-load", "pivot", "cache-insert", "verify"};
+    "alloc",  "jit-compile", "jit-load",   "pivot",         "cache-insert",
+    "verify", "store-write", "store-read", "store-checksum"};
+
+// Outcome of the last arm_from_env(). Function-local static so the
+// static-init-time call below constructs it on first use regardless of TU
+// order; guarded by no lock — written only from arm_from_env(), which is
+// documented not to race with in-flight solves.
+Status& env_status_storage() {
+  static Status status;
+  return status;
+}
 
 // Arm from SYMPILER_FAULT once, before main touches the library. A failed
-// parse leaves the injector disarmed (silent: no logging layer exists at
-// static-init time, and the test suite pins the parser directly).
+// parse leaves the injector disarmed but is loud about it: a stderr
+// diagnostic plus a sticky kInvalidInput in env_status() — a typo'd fault
+// spec silently testing the happy path is itself a test bug.
 const bool g_env_armed = FaultInjector::arm_from_env();
 
 }  // namespace
@@ -74,14 +87,30 @@ void FaultInjector::reset() {
 }
 
 bool FaultInjector::arm_from_env() {
+  env_status_storage() = Status{};
   const char* spec = std::getenv("SYMPILER_FAULT");
   if (spec == nullptr || *spec == '\0') return false;
   FaultSite site{};
   std::uint64_t nth = 0, count = 0;
-  if (!parse(spec, &site, &nth, &count)) return false;
+  if (!parse(spec, &site, &nth, &count)) {
+    std::string sites;
+    for (int s = 0; s < kFaultSiteCount; ++s) {
+      if (s > 0) sites += ", ";
+      sites += kSiteNames[s];
+    }
+    Status status;
+    status.code = ErrorCode::kInvalidInput;
+    status.message = "malformed SYMPILER_FAULT spec '" + std::string(spec) +
+                     "': expected site:nth[:count] with site one of " + sites;
+    std::fprintf(stderr, "sympiler: %s\n", status.message.c_str());
+    env_status_storage() = std::move(status);
+    return false;
+  }
   arm(site, nth, count);
   return true;
 }
+
+Status FaultInjector::env_status() { return env_status_storage(); }
 
 std::uint64_t FaultInjector::hits(FaultSite site) {
   return g_counters[static_cast<int>(site)].passes.load(
@@ -108,12 +137,17 @@ bool FaultInjector::parse(const char* spec, FaultSite* site,
   for (int s = 0; s < kFaultSiteCount; ++s)
     if (name == kSiteNames[s]) found = s;
   if (found < 0) return false;
+  // strtoull alone is too lax for a fault spec: it skips leading
+  // whitespace and wraps negative input ("pivot:-1" would arm ordinal
+  // 2^64-1). Require the ordinal and count to start with a digit.
+  if (colon[1] < '0' || colon[1] > '9') return false;
   char* end = nullptr;
   const unsigned long long n = std::strtoull(colon + 1, &end, 10);
   if (end == colon + 1 || n == 0) return false;
   unsigned long long c = 1;
   if (*end == ':') {
     const char* cstart = end + 1;
+    if (*cstart < '0' || *cstart > '9') return false;
     c = std::strtoull(cstart, &end, 10);
     if (end == cstart || c == 0) return false;
   }

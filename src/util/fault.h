@@ -14,9 +14,11 @@
 //    consecutive passes starting at the nth pass (1-based) of `site`;
 //  * environment: SYMPILER_FAULT="site:nth[:count]" (site names from
 //    FaultInjector::name: alloc, jit-compile, jit-load, pivot,
-//    cache-insert, verify), parsed once at process start — re-apply after
-//    reset()
-//    with arm_from_env().
+//    cache-insert, verify, store-write, store-read, store-checksum),
+//    parsed once at process start — re-apply after reset() with
+//    arm_from_env(). A malformed spec rejects loudly: the injector stays
+//    disarmed, a diagnostic goes to stderr, and env_status() carries a
+//    structured kInvalidInput Status naming the bad spec.
 //
 // Cost when disarmed: one relaxed atomic load per site pass (no counting).
 // Compiling with -DSYMPILER_DISABLE_FAULT_INJECTION turns every site into
@@ -31,6 +33,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/status.h"
+
 namespace sympiler::util {
 
 /// Instrumented failure sites (docs/robustness.md lists what each one
@@ -42,6 +46,9 @@ enum class FaultSite : int {
   kPivot,         ///< numeric pivot checks — numerical_error
   kCacheInsert,   ///< PlanCache::get_or_build — degrades to uncached plan
   kVerify,        ///< verify::verify_plan — plan_verification_error
+  kStoreWrite,    ///< PlanStore::save — degrades to unpersisted plan
+  kStoreRead,     ///< PlanStore::load — degrades to cold replan
+  kStoreChecksum, ///< plan_serde CRC check — degrades to rung-5 replan
   kSiteCount_,    ///< sentinel
 };
 
@@ -67,7 +74,14 @@ class FaultInjector {
 
   /// Parse SYMPILER_FAULT from the environment and arm accordingly; false
   /// when unset or unparsable. Called once automatically at process start.
+  /// A malformed spec is rejected loudly: a diagnostic is printed to
+  /// stderr and env_status() records a kInvalidInput Status.
   static bool arm_from_env();
+
+  /// Outcome of the most recent arm_from_env(): kOk when SYMPILER_FAULT
+  /// was unset or parsed cleanly, kInvalidInput (message naming the bad
+  /// spec) when it was malformed. Sticky until the next arm_from_env().
+  [[nodiscard]] static Status env_status();
 
   /// Passes counted through `site` since the last arm/reset.
   [[nodiscard]] static std::uint64_t hits(FaultSite site);

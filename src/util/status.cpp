@@ -18,6 +18,10 @@ const char* to_string(ErrorCode code) {
       return "ResourceExhausted";
     case ErrorCode::kPlanInvalid:
       return "PlanInvalid";
+    case ErrorCode::kCorruptPlanFile:
+      return "CorruptPlanFile";
+    case ErrorCode::kStalePlanVersion:
+      return "StalePlanVersion";
   }
   return "Unknown";
 }

@@ -44,6 +44,17 @@ enum class ErrorCode : std::uint8_t {
   /// always a planner/scheduler bug (or an injected fault); the plan is
   /// rejected before any numeric code runs on it.
   kPlanInvalid,
+  /// A persisted plan file failed validation: bad magic, a CRC mismatch,
+  /// an out-of-bounds section offset/count, or a loaded plan that fails
+  /// re-verification. Always recoverable — rung 5 of the degradation
+  /// ladder discards the file and replans from the matrix.
+  kCorruptPlanFile,
+  /// A persisted plan file is internally consistent but written by an
+  /// incompatible layout: unknown format version, foreign endianness, or
+  /// a different index/value ABI. Recovered exactly like kCorruptPlanFile
+  /// (discard + replan + rewrite), but classified separately so fleets can
+  /// tell rolling-upgrade churn from disk corruption.
+  kStalePlanVersion,
 };
 
 [[nodiscard]] const char* to_string(ErrorCode code);

@@ -76,6 +76,19 @@ bool flip_chain_to_bundle(parallel::AggregateSchedule& agg) {
   return false;
 }
 
+/// Swap two adjacent members inside a multi-item chain task: the chain's
+/// sequential execution now runs a consumer before the producer it was
+/// fused with (the coarsener bug class races.chain-order diagnoses).
+bool reorder_chain(parallel::AggregateSchedule& agg) {
+  for (index_t t = 0; t < agg.tasks(); ++t) {
+    if (agg.bundle[t] == 0 && agg.task_ptr[t + 1] - agg.task_ptr[t] >= 2) {
+      std::swap(agg.items[agg.task_ptr[t]], agg.items[agg.task_ptr[t] + 1]);
+      return true;
+    }
+  }
+  return false;
+}
+
 /// Drop the last scheduled item: the schedule still looks well-formed but
 /// silently loses work.
 bool drop_schedule_item(parallel::LevelSchedule& schedule) {
@@ -103,6 +116,8 @@ const char* to_string(Corruption c) {
       return "workspace-trim";
     case Corruption::kScheduleGap:
       return "schedule-gap";
+    case Corruption::kChainReorder:
+      return "chain-reorder";
   }
   return "?";
 }
@@ -201,6 +216,8 @@ bool PlanMutator::apply(core::CholeskyPlan& plan, Corruption c) {
     }
     case Corruption::kScheduleGap:
       return drop_schedule_item(plan.schedule);
+    case Corruption::kChainReorder:
+      return !plan.agg.empty() && reorder_chain(plan.agg);
   }
   return false;
 }
@@ -297,6 +314,8 @@ bool PlanMutator::apply(core::TriSolvePlan& plan, const CscMatrix& l,
       }
       return false;
     }
+    case Corruption::kChainReorder:
+      return !plan.agg.empty() && reorder_chain(plan.agg);
   }
   return false;
 }

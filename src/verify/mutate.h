@@ -30,6 +30,7 @@ enum class Corruption {
   kOutOfBoundsIndex,      // structural index past its extent
   kWorkspaceTrim,         // workspace dims below the executors' reach
   kScheduleGap,           // schedule silently drops an item
+  kChainReorder,          // chain task members swapped out of dep order
 };
 
 const char* to_string(Corruption c);

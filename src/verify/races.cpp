@@ -159,10 +159,53 @@ void check_races(Report& report, const core::CholeskyPlan& plan) {
       }
     }
   };
+  // Intra-chain sequencing (ROADMAP verify follow-up 4): a producer and
+  // its consumer may legally share one aggregate *chain* task — the chain
+  // runs its members sequentially, so the dependence is honored by member
+  // order instead of a barrier. Check that sequencing as its own family:
+  // same-task pairs must sit in an unbundled task with the producer at a
+  // strictly earlier member position. The generic happens-before check
+  // subsumes the pass/fail, but this one names the chain task and member
+  // positions — the coarsener bug class (PR 7) the flattened diagnosis
+  // used to hide.
+  const auto check_chain_order = [&](const ItemOrder& order) {
+    if (!order.usable) return;
+    c.note();
+    for (index_t s = 0; s < nsuper; ++s) {
+      const index_t base = layout.srow_ptr[s];
+      const index_t w = layout.width(s);
+      const index_t rows = layout.nrows(s);
+      for (index_t u = w; u < rows; ++u) {
+        const index_t r = layout.srows[base + u];
+        if (r < 0 || r >= n) return;
+        const index_t owner = layout.sn.col_to_super[r];
+        if (owner < 0 || owner >= nsuper || owner == s) continue;
+        if (order.task[s] != order.task[owner]) continue;
+        if (order.bundled[s] != 0) {
+          c.fail("races.chain-order", r,
+                 cat("supernode ", s, " and its consumer ", owner,
+                     " share lock-step bundle task ", order.task[s],
+                     " — bundle lanes cannot sequence a dependence"));
+          return;
+        }
+        if (order.pos[s] >= order.pos[owner]) {
+          c.fail("races.chain-order", r,
+                 cat("chain task ", order.task[s], " runs consumer supernode ",
+                     owner, " (member ", order.pos[owner],
+                     ") before its producer ", s, " (member ", order.pos[s],
+                     ")"));
+          return;
+        }
+      }
+    }
+  };
   if (!plan.schedule.empty())
     check_hb(quiet_flat(plan.schedule, nsuper), "races.read-before-publish");
-  if (!plan.agg.empty())
-    check_hb(quiet_agg(plan.agg, nsuper), "races.read-before-publish-agg");
+  if (!plan.agg.empty()) {
+    const ItemOrder agg_order = quiet_agg(plan.agg, nsuper);
+    check_hb(agg_order, "races.read-before-publish-agg");
+    check_chain_order(agg_order);
+  }
 }
 
 // ---------------------------------------------------------------- TriSolve
@@ -278,10 +321,41 @@ void check_races(Report& report, const core::TriSolvePlan& plan,
       }
     }
   };
+  // Intra-chain sequencing over DG_L (see the Cholesky counterpart):
+  // producer column j and consumer row i sharing one chain task must be
+  // sequenced by member position; a shared bundle can never sequence them.
+  const auto check_chain_order = [&](const ItemOrder& ord) {
+    if (!ord.usable) return;
+    c.note();
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t p = l.col_begin(j); p < l.col_end(j); ++p) {
+        const index_t i = l.rowind[p];
+        if (i <= j || i >= n) continue;
+        if (ord.task[j] != ord.task[i]) continue;
+        if (ord.bundled[j] != 0) {
+          c.fail("races.chain-order", i,
+                 cat("column ", j, " and its consumer row ", i,
+                     " share lock-step bundle task ", ord.task[j],
+                     " — bundle lanes cannot sequence a dependence"));
+          return;
+        }
+        if (ord.pos[j] >= ord.pos[i]) {
+          c.fail("races.chain-order", i,
+                 cat("chain task ", ord.task[j], " runs consumer row ", i,
+                     " (member ", ord.pos[i], ") before its producer column ",
+                     j, " (member ", ord.pos[j], ")"));
+          return;
+        }
+      }
+    }
+  };
   if (!plan.schedule.empty())
     check_hb(quiet_flat(plan.schedule, n), "races.read-before-publish");
-  if (!plan.agg.empty())
-    check_hb(quiet_agg(plan.agg, n), "races.read-before-publish-agg");
+  if (!plan.agg.empty()) {
+    const ItemOrder agg_order = quiet_agg(plan.agg, n);
+    check_hb(agg_order, "races.read-before-publish-agg");
+    check_chain_order(agg_order);
+  }
 }
 
 }  // namespace sympiler::verify::detail

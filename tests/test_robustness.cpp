@@ -12,11 +12,14 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <limits>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "api/solver.h"
+#include "core/plan_store.h"
 #include "gen/generators.h"
 #include "sparse/io_mm.h"
 #include "util/fault.h"
@@ -107,6 +110,68 @@ TEST(FaultInjectorTest, ParsesSpecs) {
   EXPECT_FALSE(FaultInjector::parse("pivot:0", &site, &nth, &count));
   EXPECT_FALSE(FaultInjector::parse("unknown-site:1", &site, &nth, &count));
   EXPECT_FALSE(FaultInjector::parse("pivot:abc", &site, &nth, &count));
+}
+
+TEST(FaultInjectorTest, ParsesPersistenceSites) {
+  FaultSite site{};
+  std::uint64_t nth = 0, count = 0;
+  ASSERT_TRUE(FaultInjector::parse("store-write:1", &site, &nth, &count));
+  EXPECT_EQ(site, FaultSite::kStoreWrite);
+  ASSERT_TRUE(FaultInjector::parse("store-read:2:3", &site, &nth, &count));
+  EXPECT_EQ(site, FaultSite::kStoreRead);
+  EXPECT_EQ(nth, 2u);
+  EXPECT_EQ(count, 3u);
+  ASSERT_TRUE(FaultInjector::parse("store-checksum:1", &site, &nth, &count));
+  EXPECT_EQ(site, FaultSite::kStoreChecksum);
+}
+
+// The spec grammar is strict: strtoull's whitespace/sign tolerance must
+// not leak through ("pivot:-1" wrapping to ordinal 2^64-1 would arm a
+// trigger that never fires — the typo'd spec silently testing the happy
+// path the injector exists to avoid).
+TEST(FaultInjectorTest, RejectsSloppyNumerals) {
+  FaultSite site{};
+  std::uint64_t nth = 0, count = 0;
+  EXPECT_FALSE(FaultInjector::parse("pivot:-1", &site, &nth, &count));
+  EXPECT_FALSE(FaultInjector::parse("pivot:+1", &site, &nth, &count));
+  EXPECT_FALSE(FaultInjector::parse("pivot: 1", &site, &nth, &count));
+  EXPECT_FALSE(FaultInjector::parse("pivot:1 ", &site, &nth, &count));
+  EXPECT_FALSE(FaultInjector::parse("pivot:1:", &site, &nth, &count));
+  EXPECT_FALSE(FaultInjector::parse("pivot:1:-2", &site, &nth, &count));
+  EXPECT_FALSE(FaultInjector::parse("pivot:1: 2", &site, &nth, &count));
+  EXPECT_FALSE(FaultInjector::parse("pivot:1:2:3", &site, &nth, &count));
+  EXPECT_FALSE(FaultInjector::parse("pivot:1x", &site, &nth, &count));
+  EXPECT_FALSE(FaultInjector::parse(":1", &site, &nth, &count));
+  EXPECT_FALSE(FaultInjector::parse("PIVOT:1", &site, &nth, &count));
+}
+
+// A malformed SYMPILER_FAULT must reject loudly: injector disarmed and a
+// sticky structured kInvalidInput naming the bad spec in env_status().
+TEST(EnvFault, MalformedSpecRejectsWithStructuredStatus) {
+  FaultGuard fg;
+  const char* saved = std::getenv("SYMPILER_FAULT");
+  const std::string saved_copy = saved != nullptr ? saved : "";
+
+  ASSERT_EQ(setenv("SYMPILER_FAULT", "store-wrlte:1", 1), 0);
+  EXPECT_FALSE(FaultInjector::arm_from_env());
+  const Status bad = FaultInjector::env_status();
+  EXPECT_EQ(bad.code, ErrorCode::kInvalidInput);
+  EXPECT_NE(bad.message.find("store-wrlte:1"), std::string::npos);
+  EXPECT_NE(bad.message.find("store-write"), std::string::npos)
+      << "the diagnostic should list the valid site names";
+  EXPECT_FALSE(FaultInjector::should_fail(FaultSite::kStoreWrite));
+
+  // A clean spec (or an absent variable) clears the sticky status.
+  ASSERT_EQ(setenv("SYMPILER_FAULT", "store-write:1", 1), 0);
+  EXPECT_TRUE(FaultInjector::arm_from_env());
+  EXPECT_TRUE(FaultInjector::env_status().ok());
+
+  if (saved != nullptr) {
+    ASSERT_EQ(setenv("SYMPILER_FAULT", saved_copy.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("SYMPILER_FAULT"), 0);
+  }
+  FaultInjector::reset();
 }
 
 TEST(FaultInjectorTest, FiresAtTheArmedOrdinalOnly) {
@@ -587,7 +652,23 @@ TEST(EnvFault, SpecArmsAndSurfacesAStructuredError) {
   std::uint64_t nth = 0, count = 0;
   ASSERT_TRUE(FaultInjector::parse(std::getenv("SYMPILER_FAULT"), &site, &nth,
                                    &count));
-  api::Solver solver;
+  // Store sites only fire when a plan store is attached — give the
+  // solver one so SYMPILER_FAULT=store-*:n exercises the persistence
+  // write path end-to-end from the environment.
+  const bool store_site = site == FaultSite::kStoreWrite ||
+                          site == FaultSite::kStoreRead ||
+                          site == FaultSite::kStoreChecksum;
+  api::SolverConfig config;
+  char store_tmpl[] = "/tmp/sympiler-envfault-XXXXXX";
+  std::shared_ptr<core::PlanStore> store;  // keeps the registry instance
+                                           // (and its counters) alive
+                                           // across the facade's use
+  if (store_site) {
+    ASSERT_NE(mkdtemp(store_tmpl), nullptr);
+    config.options.plan_store_dir = store_tmpl;
+    store = core::PlanStore::open(config.options.plan_store_dir);
+  }
+  api::Solver solver(config);
   const CscMatrix a = gen::grid2d_laplacian(16, 16);
   bool threw = false;
   try {
@@ -596,11 +677,20 @@ TEST(EnvFault, SpecArmsAndSurfacesAStructuredError) {
     threw = true;
     EXPECT_NE(e.code(), ErrorCode::kOk);
   }
-  if (FaultInjector::fired() > 0)
+  if (store_site) {
+    // Write-behind persistence faults must not degrade the factor: the
+    // plan simply stays unpersisted, absorbed into the store counters
+    // (rung 5's write direction) — never a throw at the caller.
+    store->flush();
+    EXPECT_FALSE(threw);
+    if (FaultInjector::fired() > 0)
+      EXPECT_GE(store->stats().write_failures, 1u);
+  } else if (FaultInjector::fired() > 0) {
     EXPECT_TRUE(threw || solver.report().degraded() ||
                 !solver.symbolic_cached())
         << "a fired fault must surface as a structured error or a "
            "documented degradation";
+  }
 
   // Recovery on the same solver once disarmed.
   FaultInjector::reset();
@@ -608,6 +698,10 @@ TEST(EnvFault, SpecArmsAndSurfacesAStructuredError) {
   std::vector<value_t> x = gen::dense_rhs(a.cols(), 77);
   solver.solve(x);
   expect_bits_equal(x, reference_solution(a, api::SolverConfig{}));
+  if (store_site) {
+    std::error_code ec;
+    std::filesystem::remove_all(store_tmpl, ec);
+  }
 }
 
 // ------------------------------------------------- malformed MatrixMarket

@@ -85,7 +85,7 @@ constexpr Corruption kAllCorruptions[] = {
     Corruption::kDepViolation,         Corruption::kAliasedSlot,
     Corruption::kReorderedFold,        Corruption::kCrossDependentBundle,
     Corruption::kOutOfBoundsIndex,     Corruption::kWorkspaceTrim,
-    Corruption::kScheduleGap,
+    Corruption::kScheduleGap,          Corruption::kChainReorder,
 };
 
 /// Allocations performed by fn().
@@ -293,6 +293,35 @@ TEST(VerifyKillMatrix, TriSolvePathsCatchEveryApplicableCorruption) {
   // class in the taxonomy must both apply somewhere and be caught.
   EXPECT_EQ(tally.killed, tally.applied);
   EXPECT_EQ(tally.applied.size(), std::size(kAllCorruptions));
+}
+
+// The races pass must diagnose an out-of-order chain as its own
+// "races.chain-order" family (not just the flattened dependence view):
+// adjacent chain members always carry a direct dependence edge (that is
+// why the coarsener fused them), so swapping them breaks intra-chain
+// sequencing in a way the slot-map happens-before replay must name.
+TEST(VerifyKillMatrix, ChainReorderDiagnosedByRacesChainOrder) {
+  CholeskyPlan chol = parallel_cholesky_plan(true);
+  ASSERT_FALSE(chol.agg.empty());
+  ASSERT_TRUE(PlanMutator::apply(chol, Corruption::kChainReorder));
+  const Report chol_report = verify::verify_plan(chol);
+  ASSERT_FALSE(chol_report.ok());
+  bool chol_named = false;
+  for (const auto& f : chol_report.findings)
+    if (f.check == "races.chain-order") chol_named = true;
+  EXPECT_TRUE(chol_named) << chol_report.to_string();
+
+  const CscMatrix l = factor_pattern(gen::grid2d_laplacian(25, 25));
+  const std::vector<index_t> beta = dense_beta(l.cols());
+  TriSolvePlan tri = parallel_trisolve_plan(l, beta, true);
+  ASSERT_FALSE(tri.agg.empty());
+  ASSERT_TRUE(PlanMutator::apply(tri, l, Corruption::kChainReorder));
+  const Report tri_report = verify::verify_plan(tri, l, beta);
+  ASSERT_FALSE(tri_report.ok());
+  bool tri_named = false;
+  for (const auto& f : tri_report.findings)
+    if (f.check == "races.chain-order") tri_named = true;
+  EXPECT_TRUE(tri_named) << tri_report.to_string();
 }
 
 // ------------------------------------------------------ clean-pass sweep
